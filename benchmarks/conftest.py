@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at the default
+scenario scale.  Building the world, running the discovery pipeline, and
+generating the flows happen once per session; the benchmarks then measure the
+analysis step itself and print the regenerated rows/series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import ExperimentContext, build_context
+from repro.simulation.config import ScenarioConfig
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """The default-scale experiment context shared by all benchmarks."""
+    ctx = build_context(ScenarioConfig.default(seed=7))
+    # Pre-compute the expensive shared artifacts so individual benchmarks measure
+    # only their own analysis step.
+    ctx.clean_flows()
+    ctx.outage_flows()
+    return ctx
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated artefact with a visible banner."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")

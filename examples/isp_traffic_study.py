@@ -1,0 +1,76 @@
+"""ISP traffic study: reproduce the Section 5 analyses on synthetic NetFlow.
+
+This example mirrors the workflow of a network analyst at the residential ISP:
+
+1. take the backend address sets produced by the discovery pipeline,
+2. exclude subscriber lines hosting Internet-wide scanners,
+3. study per-provider activity, traffic direction, port usage, per-subscriber
+   volumes, and how much traffic crosses continent borders.
+
+Provider names are anonymized (T1..T4 / D1..D6 / O1..O6) exactly as in the paper.
+
+Run with::
+
+    python examples/isp_traffic_study.py
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_bytes, format_percent
+from repro.experiments.context import build_context
+from repro.experiments.traffic_experiments import (
+    fig5_scanner_threshold,
+    fig8_subscriber_activity,
+    fig10_direction_ratio,
+    fig11_port_mix,
+    fig12_per_subscriber_volumes,
+    fig13_fig14_region_crossing,
+)
+from repro.simulation.config import ScenarioConfig
+
+
+def main() -> None:
+    config = ScenarioConfig.small(seed=11).with_overrides(n_subscriber_lines=1500)
+    print("Building world, running discovery, generating one week of NetFlow...")
+    context = build_context(config)
+
+    sweep = fig5_scanner_threshold(context)
+    print("\nScanner exclusion (Figure 5):")
+    for point in sweep.points:
+        print(
+            f"  threshold {point.threshold:>4}: {point.scanner_line_count:>3} scanner lines, "
+            f"backend coverage {format_percent(point.server_coverage_fraction)}"
+        )
+
+    activity = fig8_subscriber_activity(context, min_lines_per_hour=5)
+    print("\nSubscriber-line activity (Figure 8): total active line-hours per provider")
+    for label in activity.providers():
+        print(f"  {label:<3} {int(activity.total(label)):>8}  (peak hour {activity.peak_hour(label)}:00)")
+
+    ratios = fig10_direction_ratio(context)
+    print("\nDownstream/upstream ratios (Figure 10):")
+    for label, ratio in ratios.overall.items():
+        direction = "downstream-heavy" if ratio > 1.2 else ("upstream-heavy" if ratio < 0.8 else "balanced")
+        print(f"  {label:<3} {ratio:5.2f}  {direction}")
+
+    mix = fig11_port_mix(context)
+    print("\nDominant port per provider (Figure 11):")
+    for label in mix.mix:
+        dominant = mix.dominant_port(label)
+        print(f"  {label:<3} {dominant:<22} {format_percent(mix.share(label, dominant))}")
+
+    volumes = fig12_per_subscriber_volumes(context)
+    print("\nPer-subscriber daily volume (Figure 12a):")
+    print(f"  median downstream {format_bytes(volumes.total_down.quantile(0.5))}")
+    print(f"  99th percentile   {format_bytes(volumes.total_down.quantile(0.99))}")
+
+    regions = fig13_fig14_region_crossing(context)
+    print("\nCrossing region borders (Figures 13 and 14):")
+    for category, share in regions.report.line_categories.items():
+        print(f"  lines contacting {category:<12} {format_percent(share)}")
+    for continent, share in regions.report.traffic_by_continent.items():
+        print(f"  traffic to servers in {continent:<3} {format_percent(share)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: discover and characterize the IoT backend ecosystem.
+
+Builds a small synthetic measurement environment, runs the paper's discovery
+methodology end to end (domain patterns -> certificate scans + passive/active DNS
+-> validation -> footprint characterization), and prints the Table-1 style summary.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import DiscoveryPipeline
+from repro.core.report import format_count, render_table
+from repro.simulation.config import ScenarioConfig
+from repro.simulation.world import build_world
+
+
+def main() -> None:
+    # A reduced scenario keeps the example fast; drop the override for the
+    # benchmark-scale world.
+    config = ScenarioConfig.small(seed=7)
+    print(f"Building synthetic world (seed={config.seed}, {config.n_subscriber_lines} subscriber lines)...")
+    world = build_world(config)
+    print(
+        f"  {len(world.all_servers())} backend servers across {len(world.deployments)} providers, "
+        f"{len(world.passive_dns)} passive DNS observations, "
+        f"{len(world.hitlist)} IPv6 hitlist entries"
+    )
+
+    print("Running the discovery pipeline over the study week (Feb 28 - Mar 7, 2022)...")
+    pipeline = DiscoveryPipeline(world)
+    result = pipeline.run()
+
+    combined = result.combined
+    print(
+        f"  discovered {format_count(len(combined.ipv4_ips()))} IPv4 and "
+        f"{format_count(len(combined.ipv6_ips()))} IPv6 backend addresses; "
+        f"{result.validation.shared_count()} shared addresses excluded by validation"
+    )
+
+    rows = [
+        [
+            row["provider"],
+            row["as_count"],
+            row["ipv4_slash24"],
+            row["ipv6_slash56"],
+            row["locations"],
+            row["countries"],
+            row["strategy"],
+        ]
+        for row in result.table1_rows()
+    ]
+    print()
+    print(
+        render_table(
+            ["Backend Provider", "#AS", "#IPv4 /24", "IPv6 /56", "#Locations", "#Countries", "Strategy"],
+            rows,
+            title="Table 1 (reproduced): IoT backend characteristics",
+        )
+    )
+
+    print()
+    print("Ground-truth validation (providers that publish their ranges):")
+    for key, report in sorted(result.ground_truth.items()):
+        print(
+            f"  {key:<10} discovered {report.discovered_count:>4} addresses, "
+            f"{report.discovered_inside} inside published ranges "
+            f"(precision {report.precision:.0%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable installs
+(which build a wheel) are unavailable; this shim enables the legacy
+``pip install -e . --no-build-isolation --no-use-pep517`` path.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

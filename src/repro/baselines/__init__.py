@@ -1,0 +1,12 @@
+"""Baselines the paper compares its methodology against.
+
+* ``portscan_only``: treat any host with an open standard IoT port as an IoT
+  backend (what a naive Internet-wide scan would do).
+* ``tls_only``: use only TLS-certificate information from IPv4 scans, i.e. the
+  Censys-only variant evaluated in Figure 7.
+"""
+
+from repro.baselines.portscan_only import PortScanBaselineReport, portscan_only_discovery
+from repro.baselines.tls_only import tls_only_discovery
+
+__all__ = ["PortScanBaselineReport", "portscan_only_discovery", "tls_only_discovery"]

@@ -1,0 +1,28 @@
+"""TLS-certificates-only baseline (the Censys-only variant of Figure 7).
+
+Figure 7 quantifies how many IoT subscriber lines would remain undetected if the
+backend address sets were derived only from TLS certificates collected by active
+IPv4 scans (i.e. without passive or active DNS).  This module produces that
+reduced discovery result; the comparison itself lives in
+:func:`repro.core.traffic.tls_only_subscriber_loss`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.discovery import BackendDiscovery, DiscoveryResult
+from repro.core.patterns import PatternSet
+from repro.scan.censys import CensysSnapshot
+
+
+def tls_only_discovery(
+    snapshots: Iterable[CensysSnapshot],
+    pattern_set: Optional[PatternSet] = None,
+) -> DiscoveryResult:
+    """Discover backend addresses using only IPv4 TLS-certificate scan data."""
+    discovery = BackendDiscovery(pattern_set)
+    combined = DiscoveryResult()
+    for snapshot in snapshots:
+        combined.merge(discovery.discover_from_censys(snapshot))
+    return combined

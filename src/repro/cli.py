@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+``iot-backend-repro`` exposes the main experiments so results can be regenerated
+without writing Python::
+
+    iot-backend-repro table1            # provider characterization (Table 1)
+    iot-backend-repro patterns          # regexes and queries (Table 2 / Appendix A)
+    iot-backend-repro discovery         # end-to-end discovery summary (Figure 2)
+    iot-backend-repro sources           # per-source contribution (Figure 3)
+    iot-backend-repro stability         # IP-set stability (Figure 4)
+    iot-backend-repro traffic           # traffic analyses (Figures 5-14)
+    iot-backend-repro outage            # AWS outage impact (Figures 15-16)
+    iot-backend-repro disruptions       # BGP / blocklist exposure (Section 6.2)
+
+Common options select the scenario scale and seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import build_context
+from repro.experiments import characterization, disruption_experiments, traffic_experiments
+from repro.simulation.config import ScenarioConfig
+
+
+def _make_config(args: argparse.Namespace) -> ScenarioConfig:
+    config = ScenarioConfig.small(seed=args.seed) if args.small else ScenarioConfig(seed=args.seed)
+    if args.subscriber_lines:
+        config = config.with_overrides(n_subscriber_lines=args.subscriber_lines)
+    if args.scale:
+        config = config.with_overrides(scale=args.scale)
+    return config
+
+
+def _cmd_table1(context) -> str:
+    return characterization.table1_characterization(context).render()
+
+
+def _cmd_patterns(context) -> str:
+    return characterization.table2_regexes().render()
+
+
+def _cmd_discovery(context) -> str:
+    return characterization.pipeline_summary(context).render()
+
+
+def _cmd_sources(context) -> str:
+    return characterization.fig3_source_contribution(context).render()
+
+
+def _cmd_stability(context) -> str:
+    return characterization.fig4_stability(context).render()
+
+
+def _cmd_validation(context) -> str:
+    return characterization.sec34_validation(context).render()
+
+
+def _cmd_traffic(context) -> str:
+    sections = [
+        traffic_experiments.fig5_scanner_threshold(context).render(),
+        traffic_experiments.fig6_visibility(context).render(),
+        traffic_experiments.fig7_tls_only_loss(context).render(),
+        traffic_experiments.fig8_subscriber_activity(context).render(),
+        traffic_experiments.fig9_traffic_volume(context).render(),
+        traffic_experiments.fig10_direction_ratio(context).render(),
+        traffic_experiments.fig11_port_mix(context).render(),
+        traffic_experiments.fig12_per_subscriber_volumes(context).render(),
+        traffic_experiments.fig13_fig14_region_crossing(context).render(),
+    ]
+    return "\n\n".join(sections)
+
+
+def _cmd_outage(context) -> str:
+    result = disruption_experiments.fig15_fig16_outage(context)
+    return result.render("15") + "\n\n" + result.render("16")
+
+
+def _cmd_disruptions(context) -> str:
+    return disruption_experiments.sec62_potential_disruptions(context).render()
+
+
+def _cmd_ablations(context) -> str:
+    return (
+        disruption_experiments.ablation_portscan_baseline(context).render()
+        + "\n\n"
+        + disruption_experiments.ablation_vantage_points(context).render()
+    )
+
+
+_COMMANDS: Dict[str, Callable] = {
+    "table1": _cmd_table1,
+    "patterns": _cmd_patterns,
+    "discovery": _cmd_discovery,
+    "sources": _cmd_sources,
+    "stability": _cmd_stability,
+    "validation": _cmd_validation,
+    "traffic": _cmd_traffic,
+    "outage": _cmd_outage,
+    "disruptions": _cmd_disruptions,
+    "ablations": _cmd_ablations,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="iot-backend-repro",
+        description="Reproduction of 'Deep Dive into the IoT Backend Ecosystem' (IMC 2022).",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS), help="experiment to run")
+    parser.add_argument("--seed", type=int, default=7, help="scenario seed (default 7)")
+    parser.add_argument("--small", action="store_true", help="use the small test scenario")
+    parser.add_argument("--scale", type=float, default=None, help="provider deployment scale factor")
+    parser.add_argument(
+        "--subscriber-lines", type=int, default=None, help="number of ISP subscriber lines"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = _make_config(args)
+    context = build_context(config)
+    output = _COMMANDS[args.command](context)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

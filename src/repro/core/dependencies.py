@@ -1,0 +1,157 @@
+"""Inter-provider dependencies and cascade exposure (Sections 4.2, 6, and 7).
+
+Six of the sixteen IoT backend providers rely on other IoT backend providers or
+public clouds for their Internet-facing gateways (Bosch, Cisco, PTC, SAP, Siemens,
+Sierra Wireless), and Oracle leases part of its footprint from a CDN.  The paper
+points out that outages of a hosting provider can therefore cascade to the IoT
+backends built on top of it.
+
+This module quantifies that exposure from the *measured* footprint: every
+discovered backend address is attributed to the organisation announcing its prefix,
+which yields (a) a hosting-dependency graph between IoT backend providers and
+hosting organisations and (b) the fraction of each provider's backend that a
+complete outage of one hosting organisation would take down.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.core.discovery import DiscoveryResult
+from repro.core.providers import get_provider
+from repro.netmodel.asn import AsRegistry
+from repro.routing.bgp import RoutingTable
+
+
+@dataclass
+class HostingDependency:
+    """How one provider's discovered backend splits across hosting organisations."""
+
+    provider_key: str
+    addresses_by_organization: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_addresses(self) -> int:
+        """Total number of attributed addresses."""
+        return sum(self.addresses_by_organization.values())
+
+    def organizations(self) -> List[str]:
+        """Hosting organisations, largest share first."""
+        return sorted(
+            self.addresses_by_organization,
+            key=lambda org: (-self.addresses_by_organization[org], org),
+        )
+
+    def share(self, organization: str) -> float:
+        """Fraction of the provider's addresses announced by an organisation."""
+        if self.total_addresses == 0:
+            return 0.0
+        return self.addresses_by_organization.get(organization, 0) / self.total_addresses
+
+    @property
+    def relies_on_third_party(self) -> bool:
+        """True when any address is announced by an organisation other than the provider."""
+        own = get_provider(self.provider_key).organization
+        return any(org != own for org in self.addresses_by_organization)
+
+
+def hosting_dependencies(
+    result: DiscoveryResult,
+    routing_table: RoutingTable,
+    as_registry: AsRegistry,
+) -> Dict[str, HostingDependency]:
+    """Attribute every discovered address to the organisation announcing its prefix."""
+    dependencies: Dict[str, HostingDependency] = {}
+    for provider_key in result.providers():
+        dependency = HostingDependency(provider_key=provider_key)
+        counts: Dict[str, int] = defaultdict(int)
+        for ip in sorted(result.ips(provider_key)):
+            announcement = routing_table.lookup(ip)
+            if announcement is None:
+                continue
+            autonomous_system = as_registry.get(announcement.origin_asn)
+            organization = (
+                autonomous_system.organization if autonomous_system else announcement.origin_organization
+            )
+            if organization:
+                counts[organization] += 1
+        dependency.addresses_by_organization = dict(counts)
+        dependencies[provider_key] = dependency
+    return dependencies
+
+
+def shared_hosting_organizations(
+    dependencies: Mapping[str, HostingDependency],
+) -> Dict[str, List[str]]:
+    """Return hosting organisations serving more than one provider's backend.
+
+    These are the points where an outage, misconfiguration, or attack could cascade
+    across IoT backend providers (Section 7).
+    """
+    providers_per_org: Dict[str, Set[str]] = defaultdict(set)
+    for provider_key, dependency in dependencies.items():
+        own = get_provider(provider_key).organization
+        for organization in dependency.addresses_by_organization:
+            if organization != own:
+                providers_per_org[organization].add(provider_key)
+    return {
+        organization: sorted(providers)
+        for organization, providers in providers_per_org.items()
+        if len(providers) >= 2
+    }
+
+
+@dataclass(frozen=True)
+class CascadeImpact:
+    """Impact of a full outage of one hosting organisation on one provider."""
+
+    provider_key: str
+    organization: str
+    affected_addresses: int
+    total_addresses: int
+
+    @property
+    def affected_fraction(self) -> float:
+        """Fraction of the provider's backend hosted by the failed organisation."""
+        if self.total_addresses == 0:
+            return 0.0
+        return self.affected_addresses / self.total_addresses
+
+
+def cascade_exposure(
+    dependencies: Mapping[str, HostingDependency],
+    organization: str,
+    minimum_fraction: float = 0.0,
+) -> List[CascadeImpact]:
+    """Return the per-provider impact of a complete outage of one organisation."""
+    impacts: List[CascadeImpact] = []
+    for provider_key, dependency in sorted(dependencies.items()):
+        affected = dependency.addresses_by_organization.get(organization, 0)
+        impact = CascadeImpact(
+            provider_key=provider_key,
+            organization=organization,
+            affected_addresses=affected,
+            total_addresses=dependency.total_addresses,
+        )
+        if impact.affected_fraction > minimum_fraction:
+            impacts.append(impact)
+    return impacts
+
+
+def most_critical_organization(
+    dependencies: Mapping[str, HostingDependency],
+    exclude_own: bool = True,
+) -> Optional[str]:
+    """Return the hosting organisation whose outage would affect the most providers."""
+    candidates: Dict[str, int] = defaultdict(int)
+    for provider_key, dependency in dependencies.items():
+        own = get_provider(provider_key).organization
+        for organization in dependency.addresses_by_organization:
+            if exclude_own and organization == own:
+                continue
+            candidates[organization] += 1
+    if not candidates:
+        return None
+    return sorted(candidates, key=lambda org: (-candidates[org], org))[0]

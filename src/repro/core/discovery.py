@@ -1,0 +1,273 @@
+"""Multi-source discovery of IoT backend server IPs (Section 3.3).
+
+Four complementary sources feed the discovery, mirroring Figure 2:
+
+* **TLS certificates** from Internet-wide IPv4 scans (Censys snapshots): every
+  certificate whose DNS names match a provider's domain patterns attributes the
+  scanned address to that provider.
+* **IPv6 scans** (ZGrab2-style probing of IPv6 hitlist addresses) contribute the
+  IPv6 equivalent.
+* **Passive DNS** (DNSDB flexible search with the same regular expressions and a
+  time-range filter) contributes addresses observed in DNS answers.
+* **Active DNS** resolution of every domain identified via passive DNS, performed
+  from multiple vantage points, contributes addresses the passive view missed.
+
+Each discovered address keeps the set of sources that found it, which feeds the
+per-source contribution analysis (Section 3.5 / Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.patterns import PatternSet
+from repro.dns.passive_db import PassiveDnsDatabase
+from repro.dns.resolver import StubResolver, VantagePoint
+from repro.dns.zone import RTYPE_A, RTYPE_AAAA
+from repro.dns.authoritative import AuthoritativeNameServer
+from repro.netmodel.addressing import is_ipv6
+from repro.scan.censys import CensysSnapshot
+from repro.scan.zgrab import ZGrabResult
+
+#: Source labels (used for Figure 3).
+SOURCE_TLS = "tls-certificates"
+SOURCE_IPV6_SCAN = "ipv6-scan"
+SOURCE_PASSIVE_DNS = "passive-dns"
+SOURCE_ACTIVE_DNS = "active-dns"
+
+ALL_SOURCES = (SOURCE_TLS, SOURCE_IPV6_SCAN, SOURCE_PASSIVE_DNS, SOURCE_ACTIVE_DNS)
+
+
+@dataclass
+class DiscoveredIP:
+    """One backend address attributed to a provider, with provenance."""
+
+    ip: str
+    provider_key: str
+    sources: Set[str] = field(default_factory=set)
+    domains: Set[str] = field(default_factory=set)
+
+    @property
+    def is_ipv6(self) -> bool:
+        """True for IPv6 addresses."""
+        return is_ipv6(self.ip)
+
+    def merge(self, other: "DiscoveredIP") -> None:
+        """Fold another observation of the same (ip, provider) into this one."""
+        if other.ip != self.ip or other.provider_key != self.provider_key:
+            raise ValueError("can only merge observations of the same ip and provider")
+        self.sources.update(other.sources)
+        self.domains.update(other.domains)
+
+
+@dataclass
+class DiscoveryResult:
+    """The set of discovered backend addresses, per provider."""
+
+    per_provider: Dict[str, Dict[str, DiscoveredIP]] = field(default_factory=dict)
+    day: Optional[date] = None
+
+    def add(self, record: DiscoveredIP) -> DiscoveredIP:
+        """Add (or merge) one discovered address."""
+        bucket = self.per_provider.setdefault(record.provider_key, {})
+        existing = bucket.get(record.ip)
+        if existing is None:
+            bucket[record.ip] = record
+            return record
+        existing.merge(record)
+        return existing
+
+    def providers(self) -> List[str]:
+        """Provider keys with at least one discovered address."""
+        return sorted(self.per_provider)
+
+    def records(self, provider_key: Optional[str] = None) -> List[DiscoveredIP]:
+        """Return discovered records for one provider (or all providers)."""
+        if provider_key is not None:
+            return list(self.per_provider.get(provider_key, {}).values())
+        result: List[DiscoveredIP] = []
+        for key in self.providers():
+            result.extend(self.per_provider[key].values())
+        return result
+
+    def ips(self, provider_key: Optional[str] = None) -> Set[str]:
+        """Return the discovered addresses of one provider (or all)."""
+        return {record.ip for record in self.records(provider_key)}
+
+    def ipv4_ips(self, provider_key: Optional[str] = None) -> Set[str]:
+        """IPv4 subset of :meth:`ips`."""
+        return {r.ip for r in self.records(provider_key) if not r.is_ipv6}
+
+    def ipv6_ips(self, provider_key: Optional[str] = None) -> Set[str]:
+        """IPv6 subset of :meth:`ips`."""
+        return {r.ip for r in self.records(provider_key) if r.is_ipv6}
+
+    def domains(self, provider_key: Optional[str] = None) -> Set[str]:
+        """Return every domain name associated with discovered addresses."""
+        names: Set[str] = set()
+        for record in self.records(provider_key):
+            names.update(record.domains)
+        return names
+
+    def provider_of(self, ip: str) -> Optional[str]:
+        """Return the provider an address was attributed to, if any."""
+        for provider_key, bucket in self.per_provider.items():
+            if ip in bucket:
+                return provider_key
+        return None
+
+    def merge(self, other: "DiscoveryResult") -> "DiscoveryResult":
+        """Merge another result into this one (in place); returns self."""
+        for record in other.records():
+            self.add(
+                DiscoveredIP(
+                    ip=record.ip,
+                    provider_key=record.provider_key,
+                    sources=set(record.sources),
+                    domains=set(record.domains),
+                )
+            )
+        return self
+
+    def copy(self) -> "DiscoveryResult":
+        """Return a deep-enough copy of the result."""
+        clone = DiscoveryResult(day=self.day)
+        clone.merge(self)
+        return clone
+
+    def restrict_to(self, ips: Iterable[str]) -> "DiscoveryResult":
+        """Return a new result containing only the given addresses."""
+        allowed = set(ips)
+        filtered = DiscoveryResult(day=self.day)
+        for record in self.records():
+            if record.ip in allowed:
+                filtered.add(
+                    DiscoveredIP(record.ip, record.provider_key, set(record.sources), set(record.domains))
+                )
+        return filtered
+
+    def total_count(self) -> int:
+        """Total number of discovered (provider, ip) attributions."""
+        return sum(len(bucket) for bucket in self.per_provider.values())
+
+
+def _match_certificate_name(pattern_set: PatternSet, name: str) -> Optional[str]:
+    """Match a certificate DNS name (possibly a wildcard) against the pattern set."""
+    candidate = name.lower().rstrip(".")
+    if candidate.startswith("*."):
+        candidate = "wildcard." + candidate[2:]
+    return pattern_set.match(candidate)
+
+
+class BackendDiscovery:
+    """Implements the four discovery sources against the measurement services."""
+
+    def __init__(self, pattern_set: Optional[PatternSet] = None) -> None:
+        self.pattern_set = pattern_set or PatternSet.for_providers()
+
+    # -- TLS certificates (Censys, IPv4) ---------------------------------------------
+
+    def discover_from_censys(self, snapshot: CensysSnapshot) -> DiscoveryResult:
+        """Attribute scanned IPv4 hosts to providers via their certificates."""
+        result = DiscoveryResult(day=snapshot.snapshot_date)
+        for record in snapshot.hosts():
+            for certificate in record.certificates:
+                for name in certificate.all_dns_names():
+                    provider_key = _match_certificate_name(self.pattern_set, name)
+                    if provider_key is None:
+                        continue
+                    result.add(
+                        DiscoveredIP(
+                            ip=record.ip,
+                            provider_key=provider_key,
+                            sources={SOURCE_TLS},
+                            domains={name.lower().rstrip(".")},
+                        )
+                    )
+        return result
+
+    # -- IPv6 application-layer scans --------------------------------------------------
+
+    def discover_from_ipv6_scan(self, scan_results: Sequence[ZGrabResult]) -> DiscoveryResult:
+        """Attribute IPv6 hitlist hosts to providers via scan certificates."""
+        result = DiscoveryResult()
+        for scan in scan_results:
+            if scan.certificate is None:
+                continue
+            for name in scan.certificate.all_dns_names():
+                provider_key = _match_certificate_name(self.pattern_set, name)
+                if provider_key is None:
+                    continue
+                result.add(
+                    DiscoveredIP(
+                        ip=scan.ip,
+                        provider_key=provider_key,
+                        sources={SOURCE_IPV6_SCAN},
+                        domains={name.lower().rstrip(".")},
+                    )
+                )
+        return result
+
+    # -- passive DNS --------------------------------------------------------------------
+
+    def discover_from_passive_dns(
+        self,
+        database: PassiveDnsDatabase,
+        since: Optional[date] = None,
+        until: Optional[date] = None,
+    ) -> DiscoveryResult:
+        """Attribute addresses observed in passive DNS to providers."""
+        result = DiscoveryResult()
+        for provider_key in self.pattern_set.providers():
+            for pattern in self.pattern_set.patterns_for(provider_key):
+                for record in database.flex_search(pattern.regex, since=since, until=until):
+                    result.add(
+                        DiscoveredIP(
+                            ip=record.rdata,
+                            provider_key=provider_key,
+                            sources={SOURCE_PASSIVE_DNS},
+                            domains={record.rrname},
+                        )
+                    )
+        return result
+
+    # -- active DNS ---------------------------------------------------------------------
+
+    def discover_from_active_dns(
+        self,
+        authoritative: AuthoritativeNameServer,
+        vantage_points: Sequence[VantagePoint],
+        domains: Iterable[str],
+        retries: int = 2,
+    ) -> DiscoveryResult:
+        """Resolve the given domains from every vantage point and attribute answers."""
+        result = DiscoveryResult()
+        resolvers = [StubResolver(authoritative, vp, retries=retries) for vp in vantage_points]
+        for domain in sorted(set(domains)):
+            provider_key = self.pattern_set.match(domain)
+            if provider_key is None:
+                continue
+            for resolver in resolvers:
+                for rtype in (RTYPE_A, RTYPE_AAAA):
+                    answer = resolver.resolve(domain, rtype)
+                    for address in answer.addresses:
+                        result.add(
+                            DiscoveredIP(
+                                ip=address,
+                                provider_key=provider_key,
+                                sources={SOURCE_ACTIVE_DNS},
+                                domains={domain},
+                            )
+                        )
+        return result
+
+    # -- combined ------------------------------------------------------------------------
+
+    def combine(self, results: Iterable[DiscoveryResult], day: Optional[date] = None) -> DiscoveryResult:
+        """Union several per-source results into one."""
+        combined = DiscoveryResult(day=day)
+        for result in results:
+            combined.merge(result)
+        return combined

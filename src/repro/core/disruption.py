@@ -1,0 +1,242 @@
+"""Disruption analyses (Section 6, Figures 15 and 16).
+
+Three questions are answered:
+
+* **What did the AWS us-east-1 outage do to IoT traffic?**  For the affected
+  provider, the downstream volume and the number of active subscriber lines are
+  split by serving region group (all regions / US-east regions / EU regions) and
+  compared against the minimum of the previous week, showing the >14.5% traffic
+  drop with a barely-changed subscriber count.
+* **Could routing incidents have disrupted the backends?**  Every BGP leak,
+  possible hijack, and AS outage of the study week is checked against the
+  discovered backend prefixes and origin ASes.
+* **Could blocklists make backends unreachable?**  Every discovered address is
+  checked against the aggregated blocklists.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from datetime import date, datetime
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.discovery import DiscoveryResult
+from repro.flows.netflow import FlowRecord
+from repro.netmodel.geo import CONTINENT_EUROPE
+from repro.routing.bgp import RoutingTable
+from repro.routing.events import BgpEvent, BgpEventFeed, EventKind
+from repro.security.blocklists import BlocklistAggregate, BlocklistMatch
+from repro.simulation.clock import StudyPeriod
+
+#: Region-group labels used in Figures 15 and 16.
+GROUP_ALL = "All"
+GROUP_US_EAST = "US-East"
+GROUP_EU = "EU"
+
+
+def _region_group(flow: FlowRecord) -> Optional[str]:
+    if flow.server_region.startswith("us-east"):
+        return GROUP_US_EAST
+    if flow.server_continent == CONTINENT_EUROPE:
+        return GROUP_EU
+    return None
+
+
+@dataclass
+class OutageImpactReport:
+    """Hourly traffic and subscriber-line series around an outage, per region group."""
+
+    provider_key: str
+    traffic_series: Dict[str, Dict[datetime, float]]
+    line_series: Dict[str, Dict[datetime, int]]
+    outage_window: Tuple[datetime, datetime]
+    previous_week_min_traffic: Dict[str, float]
+    previous_week_min_lines: Dict[str, int]
+
+    def traffic_during_outage(self, group: str) -> List[float]:
+        """Hourly traffic of a group during the outage window."""
+        start, end = self.outage_window
+        series = self.traffic_series.get(group, {})
+        return [value for when, value in series.items() if start <= when < end]
+
+    def min_traffic_during_outage(self, group: str) -> float:
+        """Minimum hourly traffic of a group during the outage window."""
+        values = self.traffic_during_outage(group)
+        return min(values) if values else 0.0
+
+    def drop_vs_previous_week(self, group: str) -> float:
+        """Relative drop of the outage-window minimum below the previous week's minimum."""
+        baseline = self.previous_week_min_traffic.get(group, 0.0)
+        if baseline <= 0:
+            return 0.0
+        low = self.min_traffic_during_outage(group)
+        return max(0.0, 1.0 - low / baseline)
+
+    def line_drop_vs_previous_week(self, group: str) -> float:
+        """Relative drop of the outage-window minimum subscriber count below baseline."""
+        baseline = self.previous_week_min_lines.get(group, 0)
+        if baseline <= 0:
+            return 0.0
+        start, end = self.outage_window
+        series = self.line_series.get(group, {})
+        values = [value for when, value in series.items() if start <= when < end]
+        if not values:
+            return 0.0
+        return max(0.0, 1.0 - min(values) / baseline)
+
+
+def outage_impact(
+    flows: Sequence[FlowRecord],
+    provider_key: str,
+    outage_window: Tuple[datetime, datetime],
+    baseline_window: Optional[Tuple[datetime, datetime]] = None,
+    sampling_ratio: int = 1,
+) -> OutageImpactReport:
+    """Compute the Figure 15/16 series for one provider.
+
+    ``baseline_window`` defaults to the week preceding the outage window's start;
+    its per-group minimum (over hours that have traffic) provides the red reference
+    line of the figures.  Hours during the daily quiet period are naturally part of
+    the minimum, as in the paper.
+    """
+    start, end = outage_window
+    if baseline_window is None:
+        # Default baseline: the four days preceding the outage day, compared at the
+        # same hours of the day (cf. the red reference lines in Figures 15 and 16).
+        from datetime import timedelta
+
+        baseline_window = (start.replace(hour=0) - timedelta(days=4), start.replace(hour=0))
+    traffic: Dict[str, Dict[datetime, float]] = {
+        GROUP_ALL: defaultdict(float),
+        GROUP_US_EAST: defaultdict(float),
+        GROUP_EU: defaultdict(float),
+    }
+    lines: Dict[str, Dict[datetime, Set[int]]] = {
+        GROUP_ALL: defaultdict(set),
+        GROUP_US_EAST: defaultdict(set),
+        GROUP_EU: defaultdict(set),
+    }
+    for flow in flows:
+        if flow.provider_key != provider_key:
+            continue
+        value = flow.bytes_down * sampling_ratio
+        traffic[GROUP_ALL][flow.timestamp] += value
+        lines[GROUP_ALL][flow.timestamp].add(flow.subscriber_id)
+        group = _region_group(flow)
+        if group is not None:
+            traffic[group][flow.timestamp] += value
+            lines[group][flow.timestamp].add(flow.subscriber_id)
+    traffic_series = {
+        group: dict(sorted(series.items())) for group, series in traffic.items()
+    }
+    line_series = {
+        group: {when: len(ids) for when, ids in sorted(series.items())}
+        for group, series in lines.items()
+    }
+    baseline_start, baseline_end = baseline_window
+    # The baseline minimum is taken over the same hours of the day as the outage
+    # window, so diurnal lows do not mask the drop (as in Figures 15 and 16).
+    outage_hours = {h % 24 for h in range(start.hour, start.hour + max(1, int((end - start).total_seconds() // 3600)))}
+    previous_week_min_traffic: Dict[str, float] = {}
+    previous_week_min_lines: Dict[str, int] = {}
+    for group in (GROUP_ALL, GROUP_US_EAST, GROUP_EU):
+        baseline_traffic = [
+            value
+            for when, value in traffic_series[group].items()
+            if baseline_start <= when < baseline_end and when.hour in outage_hours and value > 0
+        ]
+        baseline_lines = [
+            value
+            for when, value in line_series[group].items()
+            if baseline_start <= when < baseline_end and when.hour in outage_hours and value > 0
+        ]
+        previous_week_min_traffic[group] = min(baseline_traffic) if baseline_traffic else 0.0
+        previous_week_min_lines[group] = min(baseline_lines) if baseline_lines else 0
+    return OutageImpactReport(
+        provider_key=provider_key,
+        traffic_series=traffic_series,
+        line_series=line_series,
+        outage_window=outage_window,
+        previous_week_min_traffic=previous_week_min_traffic,
+        previous_week_min_lines=previous_week_min_lines,
+    )
+
+
+# ---------------------------------------------------------------------------------
+# Potential disruptions (Section 6.2)
+# ---------------------------------------------------------------------------------
+
+
+@dataclass
+class BgpExposureReport:
+    """Exposure of the discovered backends to routing incidents."""
+
+    counts_by_kind: Dict[EventKind, int]
+    affecting_events: List[BgpEvent] = field(default_factory=list)
+
+    @property
+    def any_backend_affected(self) -> bool:
+        """True when at least one incident touched a backend prefix or AS."""
+        return bool(self.affecting_events)
+
+
+def bgp_exposure(
+    feed: BgpEventFeed,
+    result: DiscoveryResult,
+    routing_table: RoutingTable,
+    period: StudyPeriod,
+) -> BgpExposureReport:
+    """Check every routing incident of the period against the backend footprint."""
+    backend_asns: Set[int] = set()
+    backend_prefixes: Set[str] = set()
+    for ip in result.ips():
+        announcement = routing_table.lookup(ip)
+        if announcement is not None:
+            backend_asns.add(announcement.origin_asn)
+            backend_prefixes.add(announcement.prefix)
+    counts = feed.count_by_kind(period.start, period.end)
+    affecting = feed.events_affecting(
+        backend_asns, sorted(backend_prefixes), period.start, period.end
+    )
+    return BgpExposureReport(counts_by_kind=counts, affecting_events=affecting)
+
+
+@dataclass
+class BlocklistExposureReport:
+    """Backend addresses appearing on blocklists, grouped by provider."""
+
+    matches_by_provider: Dict[str, List[BlocklistMatch]] = field(default_factory=dict)
+
+    @property
+    def total_listed_ips(self) -> int:
+        """Number of distinct backend addresses found on any list."""
+        return len(
+            {match.ip for matches in self.matches_by_provider.values() for match in matches}
+        )
+
+    def providers_affected(self) -> List[str]:
+        """Providers with at least one listed address."""
+        return sorted(key for key, matches in self.matches_by_provider.items() if matches)
+
+    def category_counts(self) -> Dict[str, int]:
+        """Distinct listed addresses per blocklist category."""
+        by_category: Dict[str, Set[str]] = defaultdict(set)
+        for matches in self.matches_by_provider.values():
+            for match in matches:
+                by_category[match.category].add(match.ip)
+        return {category: len(ips) for category, ips in sorted(by_category.items())}
+
+
+def blocklist_exposure(
+    blocklists: BlocklistAggregate, result: DiscoveryResult
+) -> BlocklistExposureReport:
+    """Check every discovered backend address against the aggregated blocklists."""
+    report = BlocklistExposureReport()
+    for provider_key in result.providers():
+        matches: List[BlocklistMatch] = []
+        for ip in sorted(result.ips(provider_key)):
+            matches.extend(blocklists.check(ip))
+        if matches:
+            report.matches_by_provider[provider_key] = matches
+    return report

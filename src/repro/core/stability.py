@@ -1,0 +1,105 @@
+"""Stability of the discovered backend IP sets across days (Section 4.1, Figure 4).
+
+Daily discovery runs yield one IP set per provider per day.  Taking the first day
+as the reference, the comparison against a later day splits the union of both sets
+into addresses present in both, addresses only in the later snapshot (newly
+discovered), and addresses only in the reference.  The paper compares the reference
+(Feb 28) against the next day, three days later, and six days later and finds
+meaningful churn only for providers that (partly) rely on shared public cloud
+infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.core.discovery import DiscoveryResult
+
+
+@dataclass(frozen=True)
+class StabilityComparison:
+    """Comparison of one provider's IP sets between the reference day and another day."""
+
+    provider_key: str
+    reference_day: date
+    compared_day: date
+    in_both: int
+    only_current: int
+    only_reference: int
+
+    @property
+    def union_size(self) -> int:
+        """Size of the union of both sets."""
+        return self.in_both + self.only_current + self.only_reference
+
+    @property
+    def stable_fraction(self) -> float:
+        """Fraction of the union present in both snapshots."""
+        if self.union_size == 0:
+            return 1.0
+        return self.in_both / self.union_size
+
+    @property
+    def churn_fraction(self) -> float:
+        """Fraction of the union that changed (1 - stable fraction)."""
+        return 1.0 - self.stable_fraction
+
+
+def compare_days(
+    provider_key: str,
+    reference: DiscoveryResult,
+    current: DiscoveryResult,
+) -> StabilityComparison:
+    """Compare one provider's discovered set between two daily results."""
+    reference_ips = reference.ips(provider_key)
+    current_ips = current.ips(provider_key)
+    return StabilityComparison(
+        provider_key=provider_key,
+        reference_day=reference.day or date.min,
+        compared_day=current.day or date.min,
+        in_both=len(reference_ips & current_ips),
+        only_current=len(current_ips - reference_ips),
+        only_reference=len(reference_ips - current_ips),
+    )
+
+
+def stability_analysis(
+    daily_results: Mapping[date, DiscoveryResult],
+    offsets: Sequence[int] = (1, 3, 6),
+    providers: Optional[Iterable[str]] = None,
+) -> List[StabilityComparison]:
+    """Compare the first day against the days at the given offsets, per provider.
+
+    Offsets that fall outside the available days are skipped, so shorter test
+    scenarios still produce a (shorter) analysis.
+    """
+    if not daily_results:
+        return []
+    days = sorted(daily_results)
+    reference_day = days[0]
+    reference = daily_results[reference_day]
+    if providers is None:
+        provider_keys: Set[str] = set(reference.providers())
+        for result in daily_results.values():
+            provider_keys.update(result.providers())
+    else:
+        provider_keys = set(providers)
+    comparisons: List[StabilityComparison] = []
+    for offset in offsets:
+        if offset >= len(days):
+            continue
+        current = daily_results[days[offset]]
+        for provider_key in sorted(provider_keys):
+            comparisons.append(compare_days(provider_key, reference, current))
+    return comparisons
+
+
+def max_churn_by_provider(comparisons: Iterable[StabilityComparison]) -> Dict[str, float]:
+    """Return the maximum churn fraction observed per provider."""
+    churn: Dict[str, float] = {}
+    for comparison in comparisons:
+        current = churn.get(comparison.provider_key, 0.0)
+        churn[comparison.provider_key] = max(current, comparison.churn_fraction)
+    return churn

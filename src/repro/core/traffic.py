@@ -1,0 +1,546 @@
+"""ISP traffic-flow analyses (Section 5, Figures 5--14).
+
+All analyses operate on :class:`~repro.flows.netflow.FlowRecord` sequences exported
+by the ISP's NetFlow collector and on the set of backend addresses produced by the
+discovery pipeline.  Provider names are anonymized with an
+:class:`~repro.flows.anonymize.AnonymizationMap` before any per-provider numbers
+are reported, mirroring the paper's data-sharing agreement.
+
+The module provides, in paper order:
+
+* scanner identification and exclusion (Figure 5),
+* backend visibility per provider (Figure 6),
+* the subscriber-line undercount when only TLS-certificate data is used (Figure 7),
+* subscriber-line activity and downstream-volume time series (Figures 8, 9),
+* downstream/upstream ratios (Figure 10),
+* the port mix per provider (Figure 11),
+* per-subscriber daily-volume distributions (Figure 12),
+* continent-crossing statistics (Figures 13, 14).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass, field
+from datetime import date, datetime
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.discovery import DiscoveryResult
+from repro.flows.anonymize import AnonymizationMap
+from repro.flows.netflow import FlowRecord
+from repro.netmodel.geo import (
+    CONTINENT_ASIA,
+    CONTINENT_EUROPE,
+    CONTINENT_NORTH_AMERICA,
+)
+from repro.protocols.ports import port_label
+
+#: Default scanner threshold adopted by the paper after the sensitivity analysis.
+DEFAULT_SCANNER_THRESHOLD = 100
+
+
+# ---------------------------------------------------------------------------------
+# Empirical distributions (used by the ECDF figures)
+# ---------------------------------------------------------------------------------
+
+
+@dataclass
+class EmpiricalDistribution:
+    """A simple empirical distribution over non-negative values."""
+
+    values: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.values = sorted(float(v) for v in self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Return the q-quantile (0 <= q <= 1) of the observed values."""
+        if not self.values:
+            raise ValueError("empty distribution has no quantiles")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        index = min(len(self.values) - 1, max(0, int(round(q * (len(self.values) - 1)))))
+        return self.values[index]
+
+    def fraction_below(self, threshold: float) -> float:
+        """Return the fraction of values strictly below the threshold."""
+        if not self.values:
+            return 0.0
+        return bisect.bisect_left(self.values, threshold) / len(self.values)
+
+    def fraction_between(self, low: float, high: float) -> float:
+        """Return the fraction of values in [low, high)."""
+        return max(0.0, self.fraction_below(high) - self.fraction_below(low))
+
+
+# ---------------------------------------------------------------------------------
+# Scanner identification and exclusion (Section 5.2, Figure 5)
+# ---------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScannerThresholdPoint:
+    """One point of the scanner-threshold sensitivity sweep."""
+
+    threshold: int
+    scanner_line_count: int
+    server_coverage_fraction: float
+
+
+class ScannerExclusion:
+    """Identifies subscriber lines hosting scanners from their backend fan-out."""
+
+    def __init__(self, flows: Sequence[FlowRecord], backend_ips: Set[str]) -> None:
+        self.backend_ips = set(backend_ips)
+        self._contacts: Dict[int, Set[str]] = defaultdict(set)
+        for flow in flows:
+            if flow.server_ip in self.backend_ips:
+                self._contacts[flow.subscriber_id].add(flow.server_ip)
+
+    def contacts_per_line(self) -> Dict[int, int]:
+        """Number of distinct backend addresses contacted per subscriber line."""
+        return {line: len(ips) for line, ips in self._contacts.items()}
+
+    def scanner_lines(self, threshold: int = DEFAULT_SCANNER_THRESHOLD) -> Set[int]:
+        """Lines contacting more than ``threshold`` distinct backend addresses."""
+        return {line for line, ips in self._contacts.items() if len(ips) > threshold}
+
+    def server_coverage(self, threshold: int = DEFAULT_SCANNER_THRESHOLD) -> float:
+        """Fraction of backend addresses contacted by non-scanner lines."""
+        if not self.backend_ips:
+            return 0.0
+        scanners = self.scanner_lines(threshold)
+        covered: Set[str] = set()
+        for line, ips in self._contacts.items():
+            if line not in scanners:
+                covered.update(ips)
+        return len(covered) / len(self.backend_ips)
+
+    def sweep(self, thresholds: Sequence[int]) -> List[ScannerThresholdPoint]:
+        """Evaluate scanner count and server coverage for several thresholds."""
+        points = []
+        for threshold in thresholds:
+            points.append(
+                ScannerThresholdPoint(
+                    threshold=threshold,
+                    scanner_line_count=len(self.scanner_lines(threshold)),
+                    server_coverage_fraction=self.server_coverage(threshold),
+                )
+            )
+        return points
+
+
+def exclude_scanner_flows(
+    flows: Sequence[FlowRecord], scanner_lines: Set[int]
+) -> List[FlowRecord]:
+    """Drop all flows of the given scanner lines."""
+    return [flow for flow in flows if flow.subscriber_id not in scanner_lines]
+
+
+def identify_and_exclude_scanners(
+    flows: Sequence[FlowRecord],
+    backend_ips: Set[str],
+    threshold: int = DEFAULT_SCANNER_THRESHOLD,
+) -> Tuple[List[FlowRecord], Set[int]]:
+    """Convenience helper: identify scanners and return (clean flows, scanner lines)."""
+    exclusion = ScannerExclusion(flows, backend_ips)
+    scanners = exclusion.scanner_lines(threshold)
+    return exclude_scanner_flows(flows, scanners), scanners
+
+
+# ---------------------------------------------------------------------------------
+# Backend visibility (Section 5.2, Figure 6)
+# ---------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VisibilityRow:
+    """Share of a provider's discovered addresses contacted from the ISP."""
+
+    label: str
+    ipv4_visible: int
+    ipv4_total: int
+    ipv6_visible: int
+    ipv6_total: int
+
+    @property
+    def ipv4_fraction(self) -> float:
+        """Visible fraction of the provider's IPv4 addresses."""
+        return self.ipv4_visible / self.ipv4_total if self.ipv4_total else 0.0
+
+    @property
+    def ipv6_fraction(self) -> float:
+        """Visible fraction of the provider's IPv6 addresses."""
+        return self.ipv6_visible / self.ipv6_total if self.ipv6_total else 0.0
+
+
+def visibility_per_provider(
+    flows: Sequence[FlowRecord],
+    result: DiscoveryResult,
+    anonymization: AnonymizationMap,
+) -> List[VisibilityRow]:
+    """Compute, per provider, the fraction of discovered addresses seen in traffic."""
+    contacted: Dict[str, Set[str]] = defaultdict(set)
+    for flow in flows:
+        contacted[flow.provider_key].add(flow.server_ip)
+    rows: List[VisibilityRow] = []
+    for provider_key in result.providers():
+        ipv4_total = result.ipv4_ips(provider_key)
+        ipv6_total = result.ipv6_ips(provider_key)
+        seen = contacted.get(provider_key, set())
+        rows.append(
+            VisibilityRow(
+                label=anonymization.label(provider_key),
+                ipv4_visible=len(ipv4_total & seen),
+                ipv4_total=len(ipv4_total),
+                ipv6_visible=len(ipv6_total & seen),
+                ipv6_total=len(ipv6_total),
+            )
+        )
+    return sorted(rows, key=lambda row: _label_sort_key(row.label))
+
+
+def overall_visibility(
+    flows: Sequence[FlowRecord], result: DiscoveryResult, ip_version: int
+) -> float:
+    """Overall fraction of discovered addresses of a family seen in traffic."""
+    total = result.ipv4_ips() if ip_version == 4 else result.ipv6_ips()
+    if not total:
+        return 0.0
+    contacted = {flow.server_ip for flow in flows if flow.server_ip in total}
+    return len(contacted) / len(total)
+
+
+# ---------------------------------------------------------------------------------
+# Subscriber lines visible per data source (Section 5.3, Figure 7)
+# ---------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SubscriberLossRow:
+    """Decrease in detectable IoT subscriber lines when only TLS data is used."""
+
+    label: str
+    ip_version: int
+    lines_full: int
+    lines_tls_only: int
+
+    @property
+    def decrease_fraction(self) -> float:
+        """Relative decrease in detected subscriber lines."""
+        if self.lines_full == 0:
+            return 0.0
+        return 1.0 - (self.lines_tls_only / self.lines_full)
+
+
+def subscriber_lines_per_provider(
+    flows: Sequence[FlowRecord], backend_ips: Set[str]
+) -> Dict[Tuple[str, int], Set[int]]:
+    """Return, per (provider, family), the subscriber lines whose flows touch the given addresses."""
+    lines: Dict[Tuple[str, int], Set[int]] = defaultdict(set)
+    for flow in flows:
+        if flow.server_ip in backend_ips:
+            lines[(flow.provider_key, flow.ip_version)].add(flow.subscriber_id)
+    return lines
+
+
+def tls_only_subscriber_loss(
+    flows: Sequence[FlowRecord],
+    full_result: DiscoveryResult,
+    tls_only_result: DiscoveryResult,
+    anonymization: AnonymizationMap,
+) -> List[SubscriberLossRow]:
+    """Quantify the loss in visible IoT subscriber lines with TLS-only discovery."""
+    full_lines = subscriber_lines_per_provider(flows, full_result.ips())
+    tls_lines = subscriber_lines_per_provider(flows, tls_only_result.ips())
+    rows: List[SubscriberLossRow] = []
+    for provider_key in full_result.providers():
+        for ip_version in (4, 6):
+            full = full_lines.get((provider_key, ip_version), set())
+            if not full:
+                continue
+            tls = tls_lines.get((provider_key, ip_version), set())
+            rows.append(
+                SubscriberLossRow(
+                    label=anonymization.label(provider_key),
+                    ip_version=ip_version,
+                    lines_full=len(full),
+                    lines_tls_only=len(tls),
+                )
+            )
+    return sorted(rows, key=lambda row: (_label_sort_key(row.label), row.ip_version))
+
+
+# ---------------------------------------------------------------------------------
+# Activity and volume time series (Section 5.3--5.4, Figures 8--10)
+# ---------------------------------------------------------------------------------
+
+
+def activity_timeseries(
+    flows: Sequence[FlowRecord],
+    anonymization: AnonymizationMap,
+    min_lines_per_hour: int = 0,
+) -> Dict[str, Dict[datetime, int]]:
+    """Hourly number of active subscriber lines per (anonymized) provider."""
+    lines: Dict[str, Dict[datetime, Set[int]]] = defaultdict(lambda: defaultdict(set))
+    for flow in flows:
+        label = anonymization.label(flow.provider_key)
+        lines[label][flow.timestamp].add(flow.subscriber_id)
+    series: Dict[str, Dict[datetime, int]] = {}
+    for label, per_hour in lines.items():
+        counted = {timestamp: len(ids) for timestamp, ids in per_hour.items()}
+        if min_lines_per_hour and max(counted.values(), default=0) < min_lines_per_hour:
+            continue
+        series[label] = dict(sorted(counted.items()))
+    return dict(sorted(series.items(), key=lambda item: _label_sort_key(item[0])))
+
+
+def volume_timeseries(
+    flows: Sequence[FlowRecord],
+    anonymization: AnonymizationMap,
+    sampling_ratio: int = 1,
+    direction: str = "down",
+) -> Dict[str, Dict[datetime, float]]:
+    """Hourly (estimated) traffic volume per provider, downstream by default."""
+    if direction not in ("down", "up"):
+        raise ValueError("direction must be 'down' or 'up'")
+    series: Dict[str, Dict[datetime, float]] = defaultdict(lambda: defaultdict(float))
+    for flow in flows:
+        label = anonymization.label(flow.provider_key)
+        value = flow.bytes_down if direction == "down" else flow.bytes_up
+        series[label][flow.timestamp] += value * sampling_ratio
+    return {
+        label: dict(sorted(per_hour.items()))
+        for label, per_hour in sorted(series.items(), key=lambda item: _label_sort_key(item[0]))
+    }
+
+
+def direction_ratio_timeseries(
+    flows: Sequence[FlowRecord], anonymization: AnonymizationMap
+) -> Dict[str, Dict[datetime, float]]:
+    """Hourly downstream/upstream byte ratio per provider (Figure 10)."""
+    down = volume_timeseries(flows, anonymization, direction="down")
+    up = volume_timeseries(flows, anonymization, direction="up")
+    ratios: Dict[str, Dict[datetime, float]] = {}
+    for label, per_hour in down.items():
+        ratios[label] = {}
+        for timestamp, downstream in per_hour.items():
+            upstream = up.get(label, {}).get(timestamp, 0.0)
+            if upstream > 0:
+                ratios[label][timestamp] = downstream / upstream
+    return ratios
+
+
+def mean_direction_ratio(flows: Sequence[FlowRecord], anonymization: AnonymizationMap) -> Dict[str, float]:
+    """Overall downstream/upstream ratio per provider across the whole input."""
+    down: Dict[str, float] = defaultdict(float)
+    up: Dict[str, float] = defaultdict(float)
+    for flow in flows:
+        label = anonymization.label(flow.provider_key)
+        down[label] += flow.bytes_down
+        up[label] += flow.bytes_up
+    return {
+        label: (down[label] / up[label]) if up[label] > 0 else float("inf")
+        for label in sorted(down, key=_label_sort_key)
+    }
+
+
+# ---------------------------------------------------------------------------------
+# Port usage (Section 5.5, Figure 11)
+# ---------------------------------------------------------------------------------
+
+
+def port_mix(
+    flows: Sequence[FlowRecord], anonymization: AnonymizationMap
+) -> Dict[str, Dict[str, float]]:
+    """Share of each provider's traffic volume per (transport, port)."""
+    volume: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+    for flow in flows:
+        label = anonymization.label(flow.provider_key)
+        volume[label][port_label(flow.transport, flow.port)] += flow.total_bytes
+    mix: Dict[str, Dict[str, float]] = {}
+    for label, per_port in volume.items():
+        total = sum(per_port.values())
+        if total <= 0:
+            continue
+        mix[label] = {
+            port: per_port[port] / total
+            for port in sorted(per_port, key=lambda p: -per_port[p])
+        }
+    return dict(sorted(mix.items(), key=lambda item: _label_sort_key(item[0])))
+
+
+def top_ports_by_volume(flows: Sequence[FlowRecord], top_n: int = 7) -> List[str]:
+    """Return the ``top_n`` port labels by total downstream volume."""
+    volume: Dict[str, float] = defaultdict(float)
+    for flow in flows:
+        volume[port_label(flow.transport, flow.port)] += flow.bytes_down
+    return [label for label, _ in sorted(volume.items(), key=lambda item: -item[1])[:top_n]]
+
+
+# ---------------------------------------------------------------------------------
+# Per-subscriber daily volumes (Section 5.6, Figure 12)
+# ---------------------------------------------------------------------------------
+
+
+def per_subscriber_daily_volume(
+    flows: Sequence[FlowRecord],
+    day: date,
+    sampling_ratio: int = 1,
+) -> Tuple[EmpiricalDistribution, EmpiricalDistribution]:
+    """Figure 12a: daily (downstream, upstream) volume per subscriber line."""
+    down: Dict[int, float] = defaultdict(float)
+    up: Dict[int, float] = defaultdict(float)
+    for flow in flows:
+        if flow.timestamp.date() != day:
+            continue
+        down[flow.subscriber_id] += flow.bytes_down * sampling_ratio
+        up[flow.subscriber_id] += flow.bytes_up * sampling_ratio
+    return EmpiricalDistribution(list(down.values())), EmpiricalDistribution(list(up.values()))
+
+
+def per_subscriber_daily_volume_by_provider(
+    flows: Sequence[FlowRecord],
+    day: date,
+    anonymization: AnonymizationMap,
+    sampling_ratio: int = 1,
+    direction: str = "down",
+) -> Dict[str, EmpiricalDistribution]:
+    """Figure 12b: per-provider daily volume per subscriber line."""
+    per_provider: Dict[str, Dict[int, float]] = defaultdict(lambda: defaultdict(float))
+    for flow in flows:
+        if flow.timestamp.date() != day:
+            continue
+        label = anonymization.label(flow.provider_key)
+        value = flow.bytes_down if direction == "down" else flow.bytes_up
+        per_provider[label][flow.subscriber_id] += value * sampling_ratio
+    return {
+        label: EmpiricalDistribution(list(values.values()))
+        for label, values in sorted(per_provider.items(), key=lambda item: _label_sort_key(item[0]))
+    }
+
+
+def per_subscriber_daily_volume_by_port(
+    flows: Sequence[FlowRecord],
+    day: date,
+    sampling_ratio: int = 1,
+    top_n: int = 7,
+) -> Dict[str, EmpiricalDistribution]:
+    """Figure 12c: per-port daily downstream volume per subscriber line.
+
+    The ``top_n`` ports by downstream volume get their own distribution; all other
+    ports are aggregated under ``Other``.
+    """
+    day_flows = [flow for flow in flows if flow.timestamp.date() == day]
+    top = set(top_ports_by_volume(day_flows, top_n))
+    per_port: Dict[str, Dict[int, float]] = defaultdict(lambda: defaultdict(float))
+    for flow in day_flows:
+        label = port_label(flow.transport, flow.port)
+        if label not in top:
+            label = "Other"
+        per_port[label][flow.subscriber_id] += flow.bytes_down * sampling_ratio
+    return {
+        label: EmpiricalDistribution(list(values.values()))
+        for label, values in per_port.items()
+    }
+
+
+# ---------------------------------------------------------------------------------
+# Crossing region borders (Section 5.7, Figures 13 and 14)
+# ---------------------------------------------------------------------------------
+
+REGION_EUROPE_ONLY = "Europe only"
+REGION_US_ONLY = "US only"
+REGION_EU_US = "EU & US"
+REGION_ASIA = "Asia"
+REGION_OTHER = "Other"
+
+REGION_CATEGORIES = (REGION_EUROPE_ONLY, REGION_US_ONLY, REGION_EU_US, REGION_ASIA, REGION_OTHER)
+
+
+@dataclass
+class RegionCrossingReport:
+    """Continent-crossing statistics for subscriber lines and traffic."""
+
+    line_categories: Dict[str, float]
+    traffic_by_continent: Dict[str, float]
+    lines_total: int
+
+    def category_fraction(self, category: str) -> float:
+        """Fraction of IoT-hosting lines in a category."""
+        return self.line_categories.get(category, 0.0)
+
+    def traffic_fraction(self, continent: str) -> float:
+        """Fraction of traffic exchanged with servers on a continent."""
+        return self.traffic_by_continent.get(continent, 0.0)
+
+
+def _categorize_continents(continents: Set[str]) -> str:
+    europe = CONTINENT_EUROPE in continents
+    america = CONTINENT_NORTH_AMERICA in continents
+    asia = CONTINENT_ASIA in continents
+    others = continents - {CONTINENT_EUROPE, CONTINENT_NORTH_AMERICA, CONTINENT_ASIA}
+    if europe and not america and not asia and not others:
+        return REGION_EUROPE_ONLY
+    if america and not europe and not asia and not others:
+        return REGION_US_ONLY
+    if europe and america and not asia and not others:
+        return REGION_EU_US
+    if asia and not europe and not america and not others:
+        return REGION_ASIA
+    return REGION_OTHER
+
+
+def region_crossing(flows: Sequence[FlowRecord]) -> RegionCrossingReport:
+    """Compute Figure 13 (lines) and Figure 14 (traffic) statistics."""
+    continents_per_line: Dict[int, Set[str]] = defaultdict(set)
+    traffic_by_continent: Dict[str, float] = defaultdict(float)
+    for flow in flows:
+        continents_per_line[flow.subscriber_id].add(flow.server_continent)
+        traffic_by_continent[flow.server_continent] += flow.total_bytes
+    total_lines = len(continents_per_line)
+    categories: Dict[str, int] = defaultdict(int)
+    for continents in continents_per_line.values():
+        categories[_categorize_continents(continents)] += 1
+    total_traffic = sum(traffic_by_continent.values())
+    return RegionCrossingReport(
+        line_categories={
+            category: (categories.get(category, 0) / total_lines if total_lines else 0.0)
+            for category in REGION_CATEGORIES
+        },
+        traffic_by_continent={
+            continent: (volume / total_traffic if total_traffic else 0.0)
+            for continent, volume in sorted(traffic_by_continent.items())
+        },
+        lines_total=total_lines,
+    )
+
+
+# ---------------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------------
+
+
+def _label_sort_key(label: str) -> Tuple[int, int]:
+    """Sort anonymized labels: T group first, then D, then O, numerically."""
+    order = {"T": 0, "D": 1, "O": 2}
+    prefix = label[0] if label else "Z"
+    try:
+        index = int(label[1:])
+    except (ValueError, IndexError):
+        index = 0
+    return (order.get(prefix, 3), index)
+
+
+def daily_active_lines(flows: Sequence[FlowRecord], ip_version: Optional[int] = None) -> Dict[date, int]:
+    """Number of distinct subscriber lines with IoT activity per day."""
+    per_day: Dict[date, Set[int]] = defaultdict(set)
+    for flow in flows:
+        if ip_version is not None and flow.ip_version != ip_version:
+            continue
+        per_day[flow.timestamp.date()].add(flow.subscriber_id)
+    return {day: len(lines) for day, lines in sorted(per_day.items())}

@@ -1,0 +1,17 @@
+"""Experiment harness: one function per table/figure of the paper.
+
+Every function takes an :class:`~repro.experiments.context.ExperimentContext`
+(which caches the expensive artifacts: the synthetic world, the discovery pipeline
+run, and the generated flows) and returns a small result object with the figure's
+data and a ``render()`` method producing the text the benchmark harness prints.
+
+The module names follow the paper's artefacts:
+
+* ``characterization`` — Table 1, Table 2 (Appendix A), Figures 2--4, Section 3.4/3.5.
+* ``traffic_experiments`` — Figures 5--14 (Section 5).
+* ``disruption_experiments`` — Figures 15--16, Section 6.2, and the ablations.
+"""
+
+from repro.experiments.context import ExperimentContext, build_context
+
+__all__ = ["ExperimentContext", "build_context"]

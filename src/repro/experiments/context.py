@@ -1,0 +1,114 @@
+"""Shared experiment context.
+
+Building the world, running the discovery pipeline, and generating a week of flows
+are the expensive steps shared by every experiment; the context performs them once
+and caches the results.  Benchmarks share a single context per scenario
+configuration through :func:`build_context`'s module-level cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.pipeline import DiscoveryPipeline, PipelineResult
+from repro.core.traffic import DEFAULT_SCANNER_THRESHOLD, identify_and_exclude_scanners
+from repro.flows.anonymize import AnonymizationMap
+from repro.flows.netflow import FlowRecord, NetFlowCollector
+from repro.simulation.clock import StudyPeriod
+from repro.simulation.config import ScenarioConfig
+from repro.simulation.world import World, build_world
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the individual experiments need, computed once."""
+
+    config: ScenarioConfig
+    world: World
+    pipeline: DiscoveryPipeline
+    result: PipelineResult
+    anonymization: AnonymizationMap
+    _flow_cache: Dict[Tuple[str, bool], List[FlowRecord]] = field(default_factory=dict)
+    _scanner_cache: Dict[str, Set[int]] = field(default_factory=dict)
+
+    # -- flows ---------------------------------------------------------------------
+
+    def raw_flows(self, period: Optional[StudyPeriod] = None) -> List[FlowRecord]:
+        """Sampled NetFlow export for a period, scanners included."""
+        period = period or self.config.study_period
+        key = (period.name, True)
+        if key not in self._flow_cache:
+            generated = self.world.flows(period)
+            collector = NetFlowCollector(self.config.sampling_ratio)
+            self._flow_cache[key] = collector.export(generated, self.world.rng.spawn("netflow"))
+        return self._flow_cache[key]
+
+    def clean_flows(
+        self,
+        period: Optional[StudyPeriod] = None,
+        threshold: int = DEFAULT_SCANNER_THRESHOLD,
+    ) -> List[FlowRecord]:
+        """Flows with scanner subscriber lines removed (the Section 5 baseline)."""
+        period = period or self.config.study_period
+        key = (f"{period.name}:{threshold}", False)
+        if key not in self._flow_cache:
+            flows = self.raw_flows(period)
+            clean, scanners = identify_and_exclude_scanners(
+                flows, self.result.dedicated.ips(), threshold=threshold
+            )
+            self._flow_cache[key] = clean
+            self._scanner_cache[f"{period.name}:{threshold}"] = scanners
+        return self._flow_cache[key]
+
+    def scanner_lines(
+        self,
+        period: Optional[StudyPeriod] = None,
+        threshold: int = DEFAULT_SCANNER_THRESHOLD,
+    ) -> Set[int]:
+        """The subscriber lines identified as scanners for a period/threshold."""
+        period = period or self.config.study_period
+        self.clean_flows(period, threshold)
+        return self._scanner_cache[f"{period.name}:{threshold}"]
+
+    def outage_flows(self) -> List[FlowRecord]:
+        """Clean flows for the outage study period (December 2021)."""
+        return self.clean_flows(self.config.outage_period)
+
+    # -- convenience ----------------------------------------------------------------
+
+    @property
+    def sampling_ratio(self) -> int:
+        """The NetFlow sampling ratio of the scenario."""
+        return self.config.sampling_ratio
+
+
+_CONTEXT_CACHE: Dict[Tuple, ExperimentContext] = {}
+
+
+def build_context(config: Optional[ScenarioConfig] = None, use_cache: bool = True) -> ExperimentContext:
+    """Build (or fetch from cache) the experiment context for a configuration."""
+    config = config or ScenarioConfig()
+    cache_key = (
+        config.seed,
+        config.scale,
+        config.n_subscriber_lines,
+        config.sampling_ratio,
+        config.study_period.start,
+        config.study_period.end,
+    )
+    if use_cache and cache_key in _CONTEXT_CACHE:
+        return _CONTEXT_CACHE[cache_key]
+    world = build_world(config)
+    pipeline = DiscoveryPipeline(world)
+    result = pipeline.run()
+    context = ExperimentContext(
+        config=config,
+        world=world,
+        pipeline=pipeline,
+        result=result,
+        anonymization=AnonymizationMap.build(),
+    )
+    if use_cache:
+        _CONTEXT_CACHE[cache_key] = context
+    return context

@@ -1,0 +1,153 @@
+"""Flow records and packet-sampled NetFlow export.
+
+The ISP monitors traffic with NetFlow at all border routers using a consistent
+packet-sampling rate; only header data (no payload) is captured, and subscriber
+addresses are anonymized by BGP prefix before the data is stored (Section 3.7,
+5.1).  Analyses therefore work on *sampled* byte and packet counts and scale them
+back by the sampling rate when estimating exchanged volumes (Section 5.6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from datetime import datetime
+from typing import Iterable, Iterator, List, Optional
+
+from repro.simulation.rng import RngRegistry
+
+#: Approximate bytes per packet used to derive packet counts from byte volumes.
+DEFAULT_PACKET_SIZE = 900
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One (aggregated, hourly) flow between a subscriber line and a backend server.
+
+    ``bytes_down``/``packets_down`` describe the server-to-subscriber direction
+    (downstream); ``bytes_up``/``packets_up`` the reverse.  ``sampled`` marks
+    records that have gone through NetFlow packet sampling; their counts must be
+    multiplied by the sampling ratio for volume estimates.
+    """
+
+    timestamp: datetime
+    subscriber_id: int
+    subscriber_prefix: str
+    ip_version: int
+    provider_key: str
+    server_ip: str
+    server_continent: str
+    server_region: str
+    transport: str
+    port: int
+    bytes_down: float
+    bytes_up: float
+    packets_down: int
+    packets_up: int
+    sampled: bool = False
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes in both directions."""
+        return self.bytes_down + self.bytes_up
+
+
+def make_flow(
+    timestamp: datetime,
+    subscriber_id: int,
+    subscriber_prefix: str,
+    ip_version: int,
+    provider_key: str,
+    server_ip: str,
+    server_continent: str,
+    server_region: str,
+    transport: str,
+    port: int,
+    bytes_down: float,
+    bytes_up: float,
+    packet_size: int = DEFAULT_PACKET_SIZE,
+) -> FlowRecord:
+    """Build a flow record, deriving packet counts from byte volumes."""
+    packets_down = max(1, int(math.ceil(bytes_down / packet_size))) if bytes_down > 0 else 0
+    packets_up = max(1, int(math.ceil(bytes_up / packet_size))) if bytes_up > 0 else 0
+    return FlowRecord(
+        timestamp=timestamp,
+        subscriber_id=subscriber_id,
+        subscriber_prefix=subscriber_prefix,
+        ip_version=ip_version,
+        provider_key=provider_key,
+        server_ip=server_ip,
+        server_continent=server_continent,
+        server_region=server_region,
+        transport=transport,
+        port=port,
+        bytes_down=float(bytes_down),
+        bytes_up=float(bytes_up),
+        packets_down=packets_down,
+        packets_up=packets_up,
+    )
+
+
+class NetFlowCollector:
+    """Packet-sampled NetFlow export.
+
+    Parameters
+    ----------
+    sampling_ratio:
+        One out of ``sampling_ratio`` packets is sampled (1 means no sampling).
+        The same ratio applies at every border router, as at the ISP.
+    """
+
+    def __init__(self, sampling_ratio: int = 1) -> None:
+        if sampling_ratio < 1:
+            raise ValueError("sampling_ratio must be >= 1")
+        self.sampling_ratio = sampling_ratio
+
+    def export(self, flows: Iterable[FlowRecord], rng: RngRegistry) -> List[FlowRecord]:
+        """Apply packet sampling to a collection of flows.
+
+        Each packet of a flow is sampled independently with probability
+        ``1/sampling_ratio``; flows whose sampled packet count is zero in both
+        directions are not exported (they were invisible to the collector).
+        """
+        if self.sampling_ratio == 1:
+            return [replace(flow, sampled=True) for flow in flows]
+        stream = rng.stream("netflow-sampling")
+        probability = 1.0 / self.sampling_ratio
+        exported: List[FlowRecord] = []
+        for flow in flows:
+            sampled_down = _binomial(stream, flow.packets_down, probability)
+            sampled_up = _binomial(stream, flow.packets_up, probability)
+            if sampled_down == 0 and sampled_up == 0:
+                continue
+            scale_down = sampled_down / flow.packets_down if flow.packets_down else 0.0
+            scale_up = sampled_up / flow.packets_up if flow.packets_up else 0.0
+            exported.append(
+                replace(
+                    flow,
+                    bytes_down=flow.bytes_down * scale_down,
+                    bytes_up=flow.bytes_up * scale_up,
+                    packets_down=sampled_down,
+                    packets_up=sampled_up,
+                    sampled=True,
+                )
+            )
+        return exported
+
+    def estimate_bytes(self, sampled_bytes: float) -> float:
+        """Scale sampled byte counts back to an estimate of the true volume."""
+        return sampled_bytes * self.sampling_ratio
+
+
+def _binomial(stream, n: int, p: float) -> int:
+    """Draw a binomial sample; exact for small n, normal approximation for large n."""
+    if n <= 0 or p <= 0.0:
+        return 0
+    if p >= 1.0:
+        return n
+    if n <= 64:
+        return sum(1 for _ in range(n) if stream.random() < p)
+    mean = n * p
+    std = math.sqrt(n * p * (1.0 - p))
+    value = int(round(stream.gauss(mean, std)))
+    return max(0, min(n, value))

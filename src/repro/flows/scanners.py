@@ -1,0 +1,80 @@
+"""Scanner traffic injection.
+
+A small number of subscriber lines host Internet-wide scanners; their traffic
+touches a large fraction of all backend server addresses and would bias the
+visibility analysis, which is why the paper identifies and excludes them with a
+threshold on the number of contacted backend IPs (Section 5.2, Figure 5).  This
+module generates the scan flows for the lines marked as scanners in the population.
+"""
+
+from __future__ import annotations
+
+from datetime import date, datetime, time
+from typing import Iterable, List, Sequence
+
+from repro.flows.netflow import FlowRecord, make_flow
+from repro.flows.subscribers import SubscriberLine
+from repro.simulation.rng import RngRegistry
+
+#: Bytes exchanged per scan probe (a SYN plus a small banner exchange).
+SCAN_PROBE_BYTES_UP = 180.0
+SCAN_PROBE_BYTES_DOWN = 320.0
+
+#: Ports a scanner sweeps (standard IoT and Web ports).
+SCAN_PORTS = (("tcp", 443), ("tcp", 8883), ("tcp", 1883), ("tcp", 5671))
+
+
+def generate_scanner_flows(
+    scanner_lines: Sequence[SubscriberLine],
+    server_catalog: Sequence[tuple],
+    day: date,
+    rng: RngRegistry,
+    coverage_range: tuple = (0.6, 0.95),
+) -> List[FlowRecord]:
+    """Generate one day of scan traffic for the scanner lines.
+
+    Parameters
+    ----------
+    scanner_lines:
+        The subscriber lines hosting scanners.
+    server_catalog:
+        Sequence of ``(provider_key, server_ip, continent, region_code)`` tuples for
+        every backend server an IPv4 scanner can reach.
+    day:
+        The day to generate traffic for.
+    coverage_range:
+        Each scanner covers a uniformly drawn fraction of the catalog within this
+        range, so different scanners contact different numbers of backends.
+    """
+    stream = rng.stream("scanner-traffic")
+    flows: List[FlowRecord] = []
+    catalog = list(server_catalog)
+    if not catalog:
+        return flows
+    low, high = coverage_range
+    for line in scanner_lines:
+        if not line.is_scanner:
+            continue
+        coverage = stream.uniform(low, high)
+        n_targets = max(1, int(round(coverage * len(catalog))))
+        targets = stream.sample(catalog, n_targets)
+        for provider_key, server_ip, continent, region_code in targets:
+            hour = stream.randrange(24)
+            transport, port = SCAN_PORTS[stream.randrange(len(SCAN_PORTS))]
+            flows.append(
+                make_flow(
+                    timestamp=datetime.combine(day, time(hour=hour)),
+                    subscriber_id=line.line_id,
+                    subscriber_prefix=line.isp_prefix,
+                    ip_version=line.ip_version,
+                    provider_key=provider_key,
+                    server_ip=server_ip,
+                    server_continent=continent,
+                    server_region=region_code,
+                    transport=transport,
+                    port=port,
+                    bytes_down=SCAN_PROBE_BYTES_DOWN,
+                    bytes_up=SCAN_PROBE_BYTES_UP,
+                )
+            )
+    return flows

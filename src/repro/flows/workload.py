@@ -1,0 +1,260 @@
+"""Workload generation: hourly IoT flows between subscriber lines and backends.
+
+For every hour of a study period, every IoT device behind a subscriber line is
+active with a probability given by its application's diurnal profile; active
+devices exchange traffic with one of their provider's backend servers.  Server
+selection prefers servers on the device's continent (Europe) with a per-provider
+probability, mirroring how providers map European clients to nearby regions — and,
+for providers using global load balancing, spreads devices over the whole fleet.
+
+Outages (Section 6.1) are injected here: flows served by servers in an affected
+cloud region during the outage window are scaled down, and a small fraction of the
+affected devices disappears from the data entirely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import date, datetime, time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.providers import PROVIDERS, ProviderSpec
+from repro.flows.devices import DeviceModel
+from repro.flows.netflow import FlowRecord, make_flow
+from repro.flows.scanners import generate_scanner_flows
+from repro.flows.subscribers import DeviceInstance, SubscriberLine, SubscriberPopulation
+from repro.netmodel.geo import CONTINENT_ASIA, CONTINENT_EUROPE, CONTINENT_NORTH_AMERICA
+from repro.netmodel.topology import BackendServer, ProviderDeployment
+from repro.outage.injector import OutageSchedule
+from repro.simulation.clock import StudyPeriod
+from repro.simulation.rng import RngRegistry, stable_hash
+
+
+@dataclass(frozen=True)
+class _ServerChoice:
+    """A pre-resolved server option for device flows."""
+
+    ip: str
+    continent: str
+    region_code: str
+    cloud_host: Optional[str]
+
+
+class WorkloadGenerator:
+    """Generates hourly flow records for a subscriber population and deployments."""
+
+    def __init__(
+        self,
+        population: SubscriberPopulation,
+        deployments: Mapping[str, ProviderDeployment],
+        rng: RngRegistry,
+        outage_schedule: Optional[OutageSchedule] = None,
+        providers: Sequence[ProviderSpec] = PROVIDERS,
+        servers_per_device: int = 2,
+        volume_sigma: float = 0.75,
+    ) -> None:
+        self.population = population
+        self.deployments = dict(deployments)
+        self.rng = rng
+        self.outage_schedule = outage_schedule or OutageSchedule()
+        self.providers = {spec.key: spec for spec in providers}
+        self.servers_per_device = max(1, servers_per_device)
+        self.volume_sigma = volume_sigma
+        self._volume_correction = math.exp(-(volume_sigma**2) / 2.0)
+        self._choices = self._index_servers()
+
+    # -- server indexing ---------------------------------------------------------
+
+    def _index_servers(self) -> Dict[str, Dict[int, Dict[str, List[_ServerChoice]]]]:
+        """Index provider servers by ip version and continent."""
+        index: Dict[str, Dict[int, Dict[str, List[_ServerChoice]]]] = {}
+        for provider_key, deployment in self.deployments.items():
+            by_version: Dict[int, Dict[str, List[_ServerChoice]]] = {4: {}, 6: {}}
+            for server in deployment.servers:
+                choice = _ServerChoice(
+                    ip=server.ip,
+                    continent=server.location.continent,
+                    region_code=server.location.region_code,
+                    cloud_host=server.cloud_host,
+                )
+                by_version[server.ip_version].setdefault(choice.continent, []).append(choice)
+            index[provider_key] = by_version
+        return index
+
+    def server_catalog(self, ip_version: int = 4) -> List[Tuple[str, str, str, str]]:
+        """Return (provider, ip, continent, region) for every server of a family."""
+        catalog: List[Tuple[str, str, str, str]] = []
+        for provider_key, by_version in sorted(self._choices.items()):
+            for continent in sorted(by_version.get(ip_version, {})):
+                for choice in by_version[ip_version][continent]:
+                    catalog.append((provider_key, choice.ip, continent, choice.region_code))
+        return catalog
+
+    def _candidate_servers(
+        self, device: DeviceInstance, ip_version: int
+    ) -> List[_ServerChoice]:
+        """Return the per-device server subset (deterministic in the device id).
+
+        Devices are *provisioned* against a region: with probability ``eu_share`` a
+        device is assigned to the provider's European servers and otherwise to a
+        remote region, and all its flows go there.  This stickiness is what makes a
+        large share of subscriber lines communicate exclusively with servers on one
+        continent (Section 5.7).  Providers with global load balancing instead
+        spread devices over the whole fleet.
+        """
+        by_version = self._choices.get(device.provider_key, {})
+        pools = by_version.get(ip_version) or by_version.get(4) or {}
+        if not pools:
+            return []
+        model = device.model
+        all_choices = [choice for choices in pools.values() for choice in choices]
+        if model.global_server_selection:
+            # Globally load-balanced providers spread European devices across their
+            # whole European and North-American fleet, which is why almost all of
+            # their backend addresses are visible from the ISP (the paper's T2).
+            spread_pool = [
+                c
+                for c in all_choices
+                if c.continent in (CONTINENT_EUROPE, CONTINENT_NORTH_AMERICA)
+            ] or all_choices
+            return self._hash_subset(device.device_id, spread_pool, self.servers_per_device * 4)
+        eu_pool = pools.get(CONTINENT_EUROPE, [])
+        remote_pool = [c for c in all_choices if c.continent != CONTINENT_EUROPE]
+        assigned_to_eu = (
+            bool(eu_pool)
+            and (
+                not remote_pool
+                or stable_hash(device.device_id + ":region", 1000) < int(model.eu_share * 1000)
+            )
+        )
+        if assigned_to_eu:
+            pool = eu_pool
+        else:
+            # Remote-assigned European devices are provisioned against the provider's
+            # main remote region (typically a large North-American region), not spread
+            # over the whole remote fleet: only a handful of remote entry points are
+            # therefore ever visible from the ISP (Section 5.2).
+            na_pool = [c for c in remote_pool if c.continent == CONTINENT_NORTH_AMERICA]
+            entry_pool = na_pool or remote_pool or eu_pool
+            entry_count = max(self.servers_per_device, len(entry_pool) // 8)
+            pool = self._hash_subset(
+                device.provider_key + ":remote-entry", entry_pool, entry_count
+            )
+        if not pool:
+            pool = all_choices
+        return self._hash_subset(device.device_id, pool, self.servers_per_device)
+
+    @staticmethod
+    def _hash_subset(seed: str, pool: Sequence[_ServerChoice], size: int) -> List[_ServerChoice]:
+        """Pick a deterministic subset of a pool based on a string seed."""
+        if len(pool) <= size:
+            return list(pool)
+        start = stable_hash(seed, len(pool))
+        step = 1 + stable_hash(seed + ":step", max(1, len(pool) - 1))
+        return [pool[(start + i * step) % len(pool)] for i in range(size)]
+
+    # -- flow generation ----------------------------------------------------------
+
+    def generate_hour(self, when: datetime) -> List[FlowRecord]:
+        """Generate the IoT flows of a single hour (scanner traffic excluded)."""
+        stream = self.rng.fresh_stream(f"workload:{when.isoformat()}")
+        flows: List[FlowRecord] = []
+        hour = when.hour
+        for line in self.population.lines:
+            if not line.devices:
+                continue
+            for device in line.devices:
+                model = device.model
+                probability = model.profile.activity_probability(hour)
+                if stream.random() >= probability:
+                    continue
+                flow = self._device_flow(line, device, when, stream)
+                if flow is not None:
+                    flows.append(flow)
+        return flows
+
+    def generate_day(self, day: date, include_scanners: bool = True) -> List[FlowRecord]:
+        """Generate all flows (IoT plus scanner traffic) for one day."""
+        flows: List[FlowRecord] = []
+        for hour in range(24):
+            flows.extend(self.generate_hour(datetime.combine(day, time(hour=hour))))
+        if include_scanners:
+            flows.extend(
+                generate_scanner_flows(
+                    self.population.scanner_lines(),
+                    self.server_catalog(ip_version=4),
+                    day,
+                    self.rng,
+                )
+            )
+        return flows
+
+    def generate_period(self, period: StudyPeriod, include_scanners: bool = True) -> List[FlowRecord]:
+        """Generate all flows of a study period."""
+        flows: List[FlowRecord] = []
+        for day in period.days():
+            flows.extend(self.generate_day(day, include_scanners=include_scanners))
+        return flows
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _device_flow(
+        self,
+        line: SubscriberLine,
+        device: DeviceInstance,
+        when: datetime,
+        stream,
+    ) -> Optional[FlowRecord]:
+        model = device.model
+        candidates = self._candidate_servers(device, line.ip_version)
+        if not candidates:
+            return None
+        choice = self._select_server(device, candidates, stream)
+        traffic_factor = self.outage_schedule.traffic_factor(
+            choice.cloud_host, choice.region_code, when
+        )
+        device_factor = self.outage_schedule.device_factor(
+            choice.cloud_host, choice.region_code, when
+        )
+        if device_factor < 1.0 and stream.random() > device_factor:
+            return None
+        volume_factor = stream.lognormvariate(0.0, self.volume_sigma) * self._volume_correction
+        volume_factor *= self._device_multiplier(device)
+        per_hour_down = model.mean_daily_down_bytes / model.profile.active_hours_per_day
+        per_hour_up = model.mean_daily_up_bytes / model.profile.active_hours_per_day
+        bytes_down = per_hour_down * volume_factor * traffic_factor
+        bytes_up = per_hour_up * volume_factor * traffic_factor
+        transport, port = model.pick_port(stream.random())
+        version = 6 if (line.ip_version == 6 and ":" in choice.ip) else 4
+        return make_flow(
+            timestamp=when,
+            subscriber_id=line.line_id,
+            subscriber_prefix=line.isp_prefix,
+            ip_version=version,
+            provider_key=device.provider_key,
+            server_ip=choice.ip,
+            server_continent=choice.continent,
+            server_region=choice.region_code,
+            transport=transport,
+            port=port,
+            bytes_down=bytes_down,
+            bytes_up=bytes_up,
+        )
+
+    @staticmethod
+    def _select_server(
+        device: DeviceInstance, candidates: Sequence[_ServerChoice], stream
+    ) -> _ServerChoice:
+        """Pick one of the device's provisioned servers for this flow."""
+        return candidates[stream.randrange(len(candidates))]
+
+    @staticmethod
+    def _device_multiplier(device: DeviceInstance) -> float:
+        """Per-device volume multiplier giving bulk-ingestion providers a heavy tail."""
+        if device.model.profile.name != "amqp_bulk":
+            return 1.0
+        bucket = stable_hash(device.device_id + ":volume", 100)
+        if bucket < 20:
+            return 4.0 + (bucket % 9)
+        return 1.0

@@ -1,0 +1,33 @@
+"""Synthetic Internet model: addresses and prefixes, autonomous systems,
+geolocation, and provider backend deployments (topology)."""
+
+from repro.netmodel.addressing import (
+    PrefixAllocator,
+    count_slash24,
+    count_slash56,
+    ip_in_prefix,
+    parse_ip,
+    prefix_of,
+)
+from repro.netmodel.asn import AsKind, AsRegistry, AutonomousSystem
+from repro.netmodel.geo import CONTINENTS, GeoDatabase, Location, world_locations
+from repro.netmodel.topology import BackendServer, ProviderDeployment, ServiceEndpoint
+
+__all__ = [
+    "PrefixAllocator",
+    "count_slash24",
+    "count_slash56",
+    "ip_in_prefix",
+    "parse_ip",
+    "prefix_of",
+    "AsKind",
+    "AsRegistry",
+    "AutonomousSystem",
+    "CONTINENTS",
+    "GeoDatabase",
+    "Location",
+    "world_locations",
+    "BackendServer",
+    "ProviderDeployment",
+    "ServiceEndpoint",
+]

@@ -1,0 +1,153 @@
+"""IP address and prefix helpers built on the standard :mod:`ipaddress` module.
+
+The simulation needs to (a) allocate non-overlapping prefixes to providers, clouds,
+and the ISP, (b) aggregate discovered addresses into /24 (IPv4) and /56 (IPv6)
+blocks as Table 1 of the paper reports, and (c) perform longest-prefix-style
+membership checks.  All helpers accept either string or ``ipaddress`` objects.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Iterable, List, Sequence, Union
+
+IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
+IPLike = Union[str, IPAddress]
+NetLike = Union[str, IPNetwork]
+
+
+def parse_ip(value: IPLike) -> IPAddress:
+    """Parse a string into an IPv4/IPv6 address (idempotent on address objects)."""
+    if isinstance(value, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
+        return value
+    return ipaddress.ip_address(value)
+
+
+def parse_network(value: NetLike) -> IPNetwork:
+    """Parse a string into an IPv4/IPv6 network (idempotent on network objects)."""
+    if isinstance(value, (ipaddress.IPv4Network, ipaddress.IPv6Network)):
+        return value
+    return ipaddress.ip_network(value, strict=False)
+
+
+def is_ipv6(value: IPLike) -> bool:
+    """Return True if the address is an IPv6 address."""
+    return parse_ip(value).version == 6
+
+
+def prefix_of(value: IPLike, length: int) -> IPNetwork:
+    """Return the enclosing prefix of the given length for an address."""
+    addr = parse_ip(value)
+    return ipaddress.ip_network(f"{addr}/{length}", strict=False)
+
+
+def ip_in_prefix(value: IPLike, network: NetLike) -> bool:
+    """Return True if the address falls inside the prefix."""
+    addr = parse_ip(value)
+    net = parse_network(network)
+    if addr.version != net.version:
+        return False
+    return addr in net
+
+
+def count_slash24(ips: Iterable[IPLike]) -> int:
+    """Count distinct IPv4 /24 blocks covered by the addresses (IPv6 ignored)."""
+    blocks = {prefix_of(ip, 24) for ip in map(parse_ip, ips) if ip.version == 4}
+    return len(blocks)
+
+
+def count_slash56(ips: Iterable[IPLike]) -> int:
+    """Count distinct IPv6 /56 blocks covered by the addresses (IPv4 ignored)."""
+    blocks = {prefix_of(ip, 56) for ip in map(parse_ip, ips) if ip.version == 6}
+    return len(blocks)
+
+
+def split_by_version(ips: Iterable[IPLike]) -> tuple[list[IPAddress], list[IPAddress]]:
+    """Split a collection of addresses into (IPv4 list, IPv6 list)."""
+    v4: list[IPAddress] = []
+    v6: list[IPAddress] = []
+    for ip in map(parse_ip, ips):
+        if ip.version == 4:
+            v4.append(ip)
+        else:
+            v6.append(ip)
+    return v4, v6
+
+
+class PrefixAllocator:
+    """Allocates non-overlapping sub-prefixes and host addresses from a pool.
+
+    The world builder creates one allocator per address family and carves provider
+    and ISP prefixes out of it.  Allocation is strictly sequential and therefore
+    deterministic.
+
+    Parameters
+    ----------
+    pool:
+        The super-prefix from which all allocations are made (e.g. ``10.0.0.0/8``).
+    """
+
+    def __init__(self, pool: NetLike) -> None:
+        self._pool = parse_network(pool)
+        self._cursor = int(self._pool.network_address)
+        self._end = int(self._pool.broadcast_address) + 1
+        self._allocated: List[IPNetwork] = []
+
+    @property
+    def pool(self) -> IPNetwork:
+        """The super-prefix managed by this allocator."""
+        return self._pool
+
+    @property
+    def allocated(self) -> Sequence[IPNetwork]:
+        """All prefixes allocated so far, in allocation order."""
+        return tuple(self._allocated)
+
+    def allocate_prefix(self, prefix_length: int) -> IPNetwork:
+        """Allocate the next available prefix of the requested length.
+
+        Raises
+        ------
+        ValueError
+            If the requested length is shorter than the pool's length or the pool
+            is exhausted.
+        """
+        if prefix_length < self._pool.prefixlen:
+            raise ValueError(
+                f"cannot allocate /{prefix_length} from pool {self._pool}"
+            )
+        block_size = 2 ** ((128 if self._pool.version == 6 else 32) - prefix_length)
+        # Align the cursor to the block size.
+        if self._cursor % block_size:
+            self._cursor += block_size - (self._cursor % block_size)
+        if self._cursor + block_size > self._end:
+            raise ValueError(f"prefix pool {self._pool} exhausted")
+        network_address = ipaddress.ip_address(self._cursor)
+        self._cursor += block_size
+        network = ipaddress.ip_network(f"{network_address}/{prefix_length}")
+        self._allocated.append(network)
+        return network
+
+    def hosts_in(self, network: NetLike, count: int, start_offset: int = 1) -> List[IPAddress]:
+        """Return ``count`` host addresses from a network, starting at an offset.
+
+        The offset defaults to 1 to skip the network address for IPv4.
+        """
+        net = parse_network(network)
+        base = int(net.network_address)
+        max_hosts = net.num_addresses - start_offset
+        if count > max_hosts:
+            raise ValueError(
+                f"requested {count} hosts but {net} only has {max_hosts} available"
+            )
+        return [ipaddress.ip_address(base + start_offset + i) for i in range(count)]
+
+
+def summarize_prefixes(ips: Iterable[IPLike], v4_length: int = 24, v6_length: int = 56) -> List[IPNetwork]:
+    """Summarize addresses into their enclosing v4/v6 prefixes (sorted, unique)."""
+    seen = set()
+    for ip in map(parse_ip, ips):
+        length = v4_length if ip.version == 4 else v6_length
+        seen.add(prefix_of(ip, length))
+    return sorted(seen, key=lambda n: (n.version, int(n.network_address), n.prefixlen))

@@ -1,0 +1,5 @@
+"""Outage substrate: cloud-region outage events injected into the flow workload."""
+
+from repro.outage.injector import OutageEvent, OutageSchedule, aws_us_east_1_outage
+
+__all__ = ["OutageEvent", "OutageSchedule", "aws_us_east_1_outage"]

@@ -1,0 +1,95 @@
+"""Minimal AMQP 1.0 connection-header model.
+
+AMQP (over TLS, port 5671) is offered by Bosch IoT Hub and Microsoft Azure IoT Hub
+in the study.  A scanner only needs the protocol header exchange to confirm that an
+AMQP stack is listening: the client sends the 8-byte protocol header
+``AMQP\\x00\\x01\\x00\\x00`` (or the SASL/TLS variants) and the server either echoes
+a protocol header or closes the connection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class AmqpProtocolId(enum.IntEnum):
+    """AMQP protocol ids carried in the protocol header."""
+
+    AMQP = 0
+    TLS = 2
+    SASL = 3
+
+
+@dataclass(frozen=True)
+class ProtocolHeader:
+    """The 8-byte AMQP protocol header."""
+
+    protocol_id: AmqpProtocolId = AmqpProtocolId.AMQP
+    major: int = 1
+    minor: int = 0
+    revision: int = 0
+
+    MAGIC = b"AMQP"
+
+    def encode(self) -> bytes:
+        """Encode into the 8-byte wire representation."""
+        return self.MAGIC + bytes([int(self.protocol_id), self.major, self.minor, self.revision])
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ProtocolHeader":
+        """Decode an 8-byte protocol header."""
+        if len(data) < 8 or data[:4] != cls.MAGIC:
+            raise ValueError("not an AMQP protocol header")
+        return cls(
+            protocol_id=AmqpProtocolId(data[4]),
+            major=data[5],
+            minor=data[6],
+            revision=data[7],
+        )
+
+
+@dataclass
+class AmqpServerBehaviour:
+    """Server-side AMQP behaviour of a backend gateway.
+
+    ``requires_sasl`` models brokers that insist on SASL authentication: they answer
+    a plain AMQP header with a SASL header, which still confirms an AMQP listener.
+    """
+
+    requires_sasl: bool = True
+    container_id: str = "iot-backend-amqp"
+
+    def handle_header(self, header: ProtocolHeader) -> ProtocolHeader:
+        """Return the protocol header the broker responds with."""
+        if self.requires_sasl and header.protocol_id != AmqpProtocolId.SASL:
+            return ProtocolHeader(protocol_id=AmqpProtocolId.SASL)
+        return ProtocolHeader(protocol_id=header.protocol_id)
+
+
+@dataclass(frozen=True)
+class AmqpProbeResult:
+    """Outcome of an AMQP probe."""
+
+    responded: bool
+    negotiated_protocol: Optional[AmqpProtocolId] = None
+    container_id: Optional[str] = None
+
+    @property
+    def spoke_amqp(self) -> bool:
+        """True when the endpoint answered with a valid AMQP protocol header."""
+        return self.responded and self.negotiated_protocol is not None
+
+
+def probe_server(behaviour: AmqpServerBehaviour) -> AmqpProbeResult:
+    """Run the protocol-header exchange against a broker behaviour."""
+    client_header = ProtocolHeader()
+    decoded = ProtocolHeader.decode(client_header.encode())
+    response = behaviour.handle_header(decoded)
+    decoded_response = ProtocolHeader.decode(response.encode())
+    return AmqpProbeResult(
+        responded=True,
+        negotiated_protocol=decoded_response.protocol_id,
+        container_id=behaviour.container_id,
+    )

@@ -1,0 +1,16 @@
+"""Routing substrate: prefix announcements and longest-prefix-match lookup
+(RouteViews-style prefix-to-AS mapping), a BGPStream-like event feed, and anycast
+catchments."""
+
+from repro.routing.bgp import Announcement, RoutingTable
+from repro.routing.events import BgpEvent, BgpEventFeed, EventKind
+from repro.routing.anycast import AnycastGroup
+
+__all__ = [
+    "Announcement",
+    "RoutingTable",
+    "BgpEvent",
+    "BgpEventFeed",
+    "EventKind",
+    "AnycastGroup",
+]

@@ -1,0 +1,44 @@
+"""Anycast catchment model.
+
+At least two providers in the study (Amazon IoT via the Global Accelerator service,
+and Siemens) use anycast, which maps client requests to a nearby site
+(Section 4.3).  The model here is a catchment table: given the client's continent,
+return the serving location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.netmodel.geo import Location
+
+
+@dataclass
+class AnycastGroup:
+    """An anycast deployment: one address block announced from several sites."""
+
+    name: str
+    sites: Dict[str, Location] = field(default_factory=dict)
+
+    def add_site(self, location: Location) -> None:
+        """Register a site; the first site per continent becomes its catchment."""
+        self.sites.setdefault(location.continent, location)
+
+    def catchment(self, client_continent: str) -> Optional[Location]:
+        """Return the site serving clients on a continent.
+
+        Falls back to an arbitrary-but-deterministic site (lexicographically first
+        continent key) when the group has no site on the client's continent, which
+        mirrors how anycast routes to the nearest announced site globally.
+        """
+        if client_continent in self.sites:
+            return self.sites[client_continent]
+        if not self.sites:
+            return None
+        fallback_key = sorted(self.sites)[0]
+        return self.sites[fallback_key]
+
+    def continents(self) -> List[str]:
+        """Return the continents with at least one site."""
+        return sorted(self.sites)

@@ -1,0 +1,87 @@
+"""Prefix announcements and a longest-prefix-match routing table.
+
+The paper maps each backend IP to its announced prefix and origin AS using the
+RouteViews prefix-to-AS dataset (Section 4.3).  The routing table here provides the
+same lookup surface: insert announcements, then look up the most specific covering
+prefix for an address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.netmodel.addressing import IPLike, NetLike, parse_ip, parse_network
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """A BGP prefix announcement."""
+
+    prefix: str
+    origin_asn: int
+    origin_organization: str = ""
+
+    def network(self):
+        """Return the parsed network object for the prefix."""
+        return parse_network(self.prefix)
+
+
+class RoutingTable:
+    """A longest-prefix-match table over announcements."""
+
+    def __init__(self) -> None:
+        self._announcements: List[Tuple[object, Announcement]] = []
+        self._seen: Dict[Tuple[str, int], Announcement] = {}
+
+    def announce(self, announcement: Announcement) -> None:
+        """Insert an announcement; duplicate (prefix, origin) pairs are ignored."""
+        key = (str(parse_network(announcement.prefix)), announcement.origin_asn)
+        if key in self._seen:
+            return
+        self._seen[key] = announcement
+        self._announcements.append((announcement.network(), announcement))
+
+    def announce_many(self, announcements: Iterable[Announcement]) -> None:
+        """Insert several announcements."""
+        for announcement in announcements:
+            self.announce(announcement)
+
+    def lookup(self, ip: IPLike) -> Optional[Announcement]:
+        """Return the most specific announcement covering an address, if any."""
+        address = parse_ip(ip)
+        best: Optional[Announcement] = None
+        best_length = -1
+        for network, announcement in self._announcements:
+            if network.version != address.version:
+                continue
+            if address in network and network.prefixlen > best_length:
+                best = announcement
+                best_length = network.prefixlen
+        return best
+
+    def origin_asn(self, ip: IPLike) -> Optional[int]:
+        """Return the origin AS number for an address, if covered."""
+        announcement = self.lookup(ip)
+        return announcement.origin_asn if announcement else None
+
+    def announcements(self) -> List[Announcement]:
+        """Return every announcement in insertion order."""
+        return [announcement for _, announcement in self._announcements]
+
+    def prefixes_for_asn(self, asn: int) -> List[str]:
+        """Return every prefix announced by an AS."""
+        return [a.prefix for _, a in self._announcements if a.origin_asn == asn]
+
+    def covers(self, prefix: NetLike) -> bool:
+        """Return True when the table contains an announcement equal to or covering the prefix."""
+        target = parse_network(prefix)
+        for network, _announcement in self._announcements:
+            if network.version != target.version:
+                continue
+            if target.subnet_of(network):
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._announcements)

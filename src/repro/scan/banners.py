@@ -1,0 +1,49 @@
+"""Application-layer banner grabbing helpers.
+
+Censys performs protocol-specific handshakes to collect banners in addition to TLS
+certificates (Section 3.3).  This module runs the appropriate protocol probe for a
+service endpoint and condenses the result into a small, serialisable banner record
+stored in scan snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netmodel.topology import ServiceEndpoint
+from repro.protocols import amqp, coap, http, mqtt
+
+
+@dataclass(frozen=True)
+class Banner:
+    """A condensed application-layer probe result for one endpoint."""
+
+    protocol: str
+    summary: str
+    success: bool
+
+
+def grab_banner(endpoint: ServiceEndpoint) -> Optional[Banner]:
+    """Run the protocol probe matching the endpoint's application protocol.
+
+    Returns None for protocols the scanner has no module for (mirroring real
+    scanners, which only cover a fixed protocol set).
+    """
+    protocol = endpoint.protocol.upper()
+    if protocol in ("MQTT", "MQTTS"):
+        result = mqtt.probe_broker(mqtt.MqttBrokerBehaviour())
+        code = result.return_code.name if result.return_code is not None else "none"
+        return Banner(protocol, f"mqtt connack={code}", result.spoke_mqtt)
+    if protocol in ("COAP", "COAPS"):
+        result = coap.probe_server(coap.CoapServerBehaviour())
+        dotted = result.response_code.dotted if result.response_code else "none"
+        return Banner(protocol, f"coap response={dotted}", result.spoke_coap)
+    if protocol in ("AMQP", "AMQPS"):
+        result = amqp.probe_server(amqp.AmqpServerBehaviour())
+        negotiated = result.negotiated_protocol.name if result.negotiated_protocol else "none"
+        return Banner(protocol, f"amqp header={negotiated}", result.spoke_amqp)
+    if protocol in ("HTTP", "HTTPS"):
+        result = http.probe_server(http.HttpServerBehaviour())
+        return Banner(protocol, f"http status={result.status_code}", result.spoke_http)
+    return None

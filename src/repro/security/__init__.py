@@ -1,0 +1,5 @@
+"""Security substrate: IP blocklists (FireHOL-style aggregation)."""
+
+from repro.security.blocklists import Blocklist, BlocklistAggregate, BlocklistMatch
+
+__all__ = ["Blocklist", "BlocklistAggregate", "BlocklistMatch"]

@@ -1,0 +1,14 @@
+"""Deterministic simulation kernel: RNG streams, simulated clock, scenario config,
+and the world builder that wires every substrate together."""
+
+from repro.simulation.rng import RngRegistry
+from repro.simulation.clock import StudyPeriod, MAIN_STUDY_PERIOD, OUTAGE_STUDY_PERIOD
+from repro.simulation.config import ScenarioConfig
+
+__all__ = [
+    "RngRegistry",
+    "StudyPeriod",
+    "MAIN_STUDY_PERIOD",
+    "OUTAGE_STUDY_PERIOD",
+    "ScenarioConfig",
+]

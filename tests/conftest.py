@@ -1,0 +1,48 @@
+"""Shared fixtures: a small deterministic world and pipeline run reused by tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import DiscoveryPipeline
+from repro.experiments.context import ExperimentContext, build_context
+from repro.flows.anonymize import AnonymizationMap
+from repro.simulation.config import ScenarioConfig
+from repro.simulation.rng import RngRegistry
+from repro.simulation.world import build_world
+
+
+@pytest.fixture(scope="session")
+def small_config() -> ScenarioConfig:
+    """The small scenario configuration used throughout the unit tests."""
+    return ScenarioConfig.small(seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_world(small_config):
+    """A small synthetic world shared by all tests (read-only usage expected)."""
+    return build_world(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_pipeline_result(small_world):
+    """The discovery-pipeline result for the small world."""
+    return DiscoveryPipeline(small_world).run()
+
+
+@pytest.fixture(scope="session")
+def small_context(small_config) -> ExperimentContext:
+    """A full experiment context (world + pipeline + flows) on the small scenario."""
+    return build_context(small_config)
+
+
+@pytest.fixture(scope="session")
+def anonymization() -> AnonymizationMap:
+    """The provider anonymization map."""
+    return AnonymizationMap.build()
+
+
+@pytest.fixture()
+def rng() -> RngRegistry:
+    """A fresh deterministic RNG registry."""
+    return RngRegistry(seed=42)

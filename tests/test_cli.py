@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    args = parser.parse_args(["table1", "--small"])
+    assert args.command == "table1"
+    assert args.small
+
+
+def test_unknown_command_rejected():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["bogus"])
+
+
+def test_main_patterns_command_prints_table(capsys):
+    exit_code = main(["patterns", "--small"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "Table 2" in captured.out
+    assert "DNSDB" in captured.out
+
+
+def test_main_table1_small_scenario(capsys):
+    exit_code = main(["table1", "--small", "--subscriber-lines", "400"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "Amazon IoT" in captured.out
+
+
+def test_main_discovery_summary(capsys):
+    exit_code = main(["discovery", "--small", "--subscriber-lines", "400"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "discovered IPv4 addresses" in captured.out

@@ -1,0 +1,52 @@
+"""Tests for the table/figure rendering helpers."""
+
+from repro.core.report import (
+    format_bytes,
+    format_count,
+    format_percent,
+    render_distribution_summary,
+    render_series,
+    render_table,
+)
+from repro.core.traffic import EmpiricalDistribution
+
+
+def test_format_count():
+    assert format_count(950) == "950"
+    assert format_count(8620) == "8.62K"
+    assert format_count(3_030_000) == "3.03M"
+
+
+def test_format_bytes():
+    assert format_bytes(512) == "512.0B"
+    assert format_bytes(10 * 1024 * 1024).endswith("MB")
+
+
+def test_format_percent():
+    assert format_percent(0.285) == "28.5%"
+    assert format_percent(0.5, digits=0) == "50%"
+
+
+def test_render_table_alignment_and_title():
+    text = render_table(["name", "value"], [["a", 1], ["long-name", 22]], title="My Table")
+    lines = text.splitlines()
+    assert lines[0] == "My Table"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    # All data lines have the same separator structure.
+    assert lines[2].count("-+-") == 1
+
+
+def test_render_series_summarises():
+    series = {"T1": {1: 10.0, 2: 30.0}, "T2": {}}
+    text = render_series(series, title="Series")
+    assert "T1" in text and "T2" in text
+    assert "(empty)" in text
+    assert "min=" in text and "max=" in text
+
+
+def test_render_distribution_summary():
+    dists = {"a": EmpiricalDistribution([1000.0, 2000.0]), "b": EmpiricalDistribution([])}
+    text = render_distribution_summary(dists)
+    assert "p50" in text and "p99" in text
+    assert "a" in text and "b" in text

@@ -1,0 +1,100 @@
+"""Tests for source attribution (Figure 3) and stability analysis (Figure 4)."""
+
+from datetime import date
+
+from repro.core.discovery import (
+    SOURCE_ACTIVE_DNS,
+    SOURCE_IPV6_SCAN,
+    SOURCE_PASSIVE_DNS,
+    SOURCE_TLS,
+    DiscoveredIP,
+    DiscoveryResult,
+)
+from repro.core.source_attribution import (
+    CATEGORY_ACTIVE_DNS,
+    CATEGORY_MULTIPLE,
+    CATEGORY_PASSIVE_DNS,
+    CATEGORY_SCAN,
+    contribution_table,
+    source_breakdown,
+)
+from repro.core.stability import compare_days, max_churn_by_provider, stability_analysis
+
+
+def _result(day, entries):
+    result = DiscoveryResult(day=day)
+    for ip, sources in entries:
+        result.add(DiscoveredIP(ip, "amazon", set(sources)))
+    return result
+
+
+def test_source_breakdown_categories():
+    result = _result(
+        date(2022, 2, 28),
+        [
+            ("10.0.0.1", {SOURCE_TLS}),
+            ("10.0.0.2", {SOURCE_PASSIVE_DNS}),
+            ("10.0.0.3", {SOURCE_ACTIVE_DNS}),
+            ("10.0.0.4", {SOURCE_TLS, SOURCE_PASSIVE_DNS}),
+            ("fd00::1", {SOURCE_IPV6_SCAN}),
+        ],
+    )
+    v4 = source_breakdown(result, "amazon", 4)
+    assert v4.total == 4
+    assert v4.counts[CATEGORY_SCAN] == 1
+    assert v4.counts[CATEGORY_PASSIVE_DNS] == 1
+    assert v4.counts[CATEGORY_ACTIVE_DNS] == 1
+    assert v4.counts[CATEGORY_MULTIPLE] == 1
+    assert abs(sum(v4.fraction(c) for c in v4.counts) - 1.0) < 1e-9
+    v6 = source_breakdown(result, "amazon", 6)
+    assert v6.total == 1
+    assert v6.counts[CATEGORY_SCAN] == 1
+
+
+def test_contribution_table_lists_families():
+    result = _result(date(2022, 2, 28), [("10.0.0.1", {SOURCE_TLS}), ("fd00::1", {SOURCE_IPV6_SCAN})])
+    rows = contribution_table(result)
+    families = {(r.provider_key, r.ip_version) for r in rows}
+    assert ("amazon", 4) in families and ("amazon", 6) in families
+
+
+def test_compare_days_counts():
+    reference = _result(date(2022, 2, 28), [("10.0.0.1", {SOURCE_TLS}), ("10.0.0.2", {SOURCE_TLS})])
+    current = _result(date(2022, 3, 1), [("10.0.0.2", {SOURCE_TLS}), ("10.0.0.3", {SOURCE_TLS})])
+    comparison = compare_days("amazon", reference, current)
+    assert comparison.in_both == 1
+    assert comparison.only_current == 1
+    assert comparison.only_reference == 1
+    assert comparison.union_size == 3
+    assert 0 < comparison.stable_fraction < 1
+    assert abs(comparison.stable_fraction + comparison.churn_fraction - 1.0) < 1e-9
+
+
+def test_stability_analysis_skips_missing_offsets():
+    daily = {
+        date(2022, 2, 28): _result(date(2022, 2, 28), [("10.0.0.1", {SOURCE_TLS})]),
+        date(2022, 3, 1): _result(date(2022, 3, 1), [("10.0.0.1", {SOURCE_TLS})]),
+    }
+    comparisons = stability_analysis(daily, offsets=(1, 3, 6))
+    assert len(comparisons) == 1
+    assert comparisons[0].churn_fraction == 0.0
+
+
+def test_stability_analysis_empty_input():
+    assert stability_analysis({}) == []
+
+
+def test_max_churn_by_provider():
+    daily = {
+        date(2022, 2, 28): _result(date(2022, 2, 28), [("10.0.0.1", {SOURCE_TLS})]),
+        date(2022, 3, 1): _result(date(2022, 3, 1), [("10.0.0.2", {SOURCE_TLS})]),
+    }
+    comparisons = stability_analysis(daily, offsets=(1,))
+    churn = max_churn_by_provider(comparisons)
+    assert churn["amazon"] == 1.0
+
+
+def test_identical_sets_are_fully_stable():
+    result = _result(date(2022, 2, 28), [("10.0.0.1", {SOURCE_TLS})])
+    comparison = compare_days("amazon", result, result)
+    assert comparison.stable_fraction == 1.0

@@ -1,0 +1,78 @@
+"""Tests for flow records and NetFlow sampling."""
+
+from datetime import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flows.netflow import FlowRecord, NetFlowCollector, make_flow
+from repro.simulation.rng import RngRegistry
+
+
+def _flow(bytes_down=9000.0, bytes_up=1800.0) -> FlowRecord:
+    return make_flow(
+        timestamp=datetime(2022, 2, 28, 12),
+        subscriber_id=1,
+        subscriber_prefix="isp-prefix-4-001",
+        ip_version=4,
+        provider_key="amazon",
+        server_ip="10.0.0.1",
+        server_continent="EU",
+        server_region="eu-west-1",
+        transport="tcp",
+        port=8883,
+        bytes_down=bytes_down,
+        bytes_up=bytes_up,
+    )
+
+
+def test_make_flow_derives_packets():
+    flow = _flow()
+    assert flow.packets_down >= 1
+    assert flow.packets_up >= 1
+    assert flow.total_bytes == pytest.approx(10800.0)
+    zero = _flow(bytes_down=0.0, bytes_up=0.0)
+    assert zero.packets_down == 0 and zero.packets_up == 0
+
+
+def test_collector_without_sampling_keeps_everything():
+    collector = NetFlowCollector(sampling_ratio=1)
+    flows = [_flow() for _ in range(10)]
+    exported = collector.export(flows, RngRegistry(1))
+    assert len(exported) == 10
+    assert all(f.sampled for f in exported)
+    assert exported[0].bytes_down == flows[0].bytes_down
+
+
+def test_collector_sampling_reduces_volume_but_estimates_back():
+    collector = NetFlowCollector(sampling_ratio=10)
+    flows = [_flow(bytes_down=90000.0, bytes_up=90000.0) for _ in range(200)]
+    exported = collector.export(flows, RngRegistry(2))
+    assert 0 < len(exported) <= 200
+    sampled_down = sum(f.bytes_down for f in exported)
+    true_down = sum(f.bytes_down for f in flows)
+    estimate = collector.estimate_bytes(sampled_down)
+    assert 0.5 * true_down < estimate < 1.5 * true_down
+
+
+def test_sampling_drops_tiny_flows_sometimes():
+    collector = NetFlowCollector(sampling_ratio=100)
+    flows = [_flow(bytes_down=500.0, bytes_up=100.0) for _ in range(300)]
+    exported = collector.export(flows, RngRegistry(3))
+    assert len(exported) < 300
+
+
+def test_invalid_sampling_ratio():
+    with pytest.raises(ValueError):
+        NetFlowCollector(sampling_ratio=0)
+
+
+@given(st.integers(min_value=2, max_value=64))
+def test_sampled_counts_never_exceed_originals(ratio):
+    collector = NetFlowCollector(sampling_ratio=ratio)
+    flows = [_flow(bytes_down=50_000.0, bytes_up=20_000.0) for _ in range(20)]
+    exported = collector.export(flows, RngRegistry(ratio))
+    for flow in exported:
+        assert flow.packets_down <= flows[0].packets_down
+        assert flow.packets_up <= flows[0].packets_up
+        assert flow.bytes_down <= flows[0].bytes_down + 1e-9

@@ -1,0 +1,89 @@
+"""Tests for the workload generator and scanner traffic."""
+
+from datetime import date, datetime
+
+from repro.core.providers import PROVIDERS
+from repro.flows.scanners import generate_scanner_flows
+from repro.flows.subscribers import SubscriberPopulation
+from repro.flows.workload import WorkloadGenerator
+from repro.simulation.clock import StudyPeriod
+from repro.simulation.rng import RngRegistry
+
+
+def _generator(world):
+    return world.workload_generator()
+
+
+def test_generate_hour_is_deterministic(small_world):
+    generator_a = _generator(small_world)
+    generator_b = _generator(small_world)
+    when = datetime(2022, 2, 28, 20)
+    flows_a = generator_a.generate_hour(when)
+    flows_b = generator_b.generate_hour(when)
+    assert len(flows_a) == len(flows_b)
+    assert [f.server_ip for f in flows_a] == [f.server_ip for f in flows_b]
+
+
+def test_flows_reference_known_servers_and_subscribers(small_world):
+    generator = _generator(small_world)
+    flows = generator.generate_day(date(2022, 2, 28), include_scanners=False)
+    assert flows
+    servers = small_world.servers_by_ip()
+    line_ids = {line.line_id for line in small_world.population.lines}
+    for flow in flows[:500]:
+        assert flow.server_ip in servers
+        assert flow.subscriber_id in line_ids
+        assert flow.bytes_down >= 0 and flow.bytes_up >= 0
+        assert flow.provider_key in {spec.key for spec in PROVIDERS}
+
+
+def test_devices_only_contact_their_provider(small_world):
+    generator = _generator(small_world)
+    flows = generator.generate_day(date(2022, 2, 28), include_scanners=False)
+    servers = small_world.servers_by_ip()
+    for flow in flows[:500]:
+        assert servers[flow.server_ip].provider == flow.provider_key
+
+
+def test_flows_only_use_dedicated_servers(small_world):
+    generator = _generator(small_world)
+    flows = generator.generate_day(date(2022, 2, 28), include_scanners=False)
+    servers = small_world.servers_by_ip()
+    assert all(servers[f.server_ip].dedicated_iot for f in flows)
+
+
+def test_prime_time_activity_higher_in_evening(small_world):
+    generator = _generator(small_world)
+    evening = generator.generate_hour(datetime(2022, 3, 2, 20))
+    night = generator.generate_hour(datetime(2022, 3, 2, 3))
+    evening_amazon = sum(1 for f in evening if f.provider_key == "amazon")
+    night_amazon = sum(1 for f in night if f.provider_key == "amazon")
+    assert evening_amazon > night_amazon
+
+
+def test_generate_period_covers_all_days(small_world):
+    generator = _generator(small_world)
+    period = StudyPeriod(date(2022, 2, 28), date(2022, 3, 2))
+    flows = generator.generate_period(period, include_scanners=False)
+    days = {flow.timestamp.date() for flow in flows}
+    assert days == set(period.days())
+
+
+def test_scanner_flows_touch_many_servers(small_world):
+    generator = _generator(small_world)
+    catalog = generator.server_catalog(ip_version=4)
+    scanners = small_world.population.scanner_lines()
+    flows = generate_scanner_flows(scanners, catalog, date(2022, 2, 28), RngRegistry(5))
+    assert flows
+    per_line = {}
+    for flow in flows:
+        per_line.setdefault(flow.subscriber_id, set()).add(flow.server_ip)
+    # Each scanner touches a large fraction of the catalog.
+    for ips in per_line.values():
+        assert len(ips) >= 0.5 * len(catalog)
+
+
+def test_server_catalog_families(small_world):
+    generator = _generator(small_world)
+    assert all(":" not in ip for _, ip, _, _ in generator.server_catalog(4))
+    assert all(":" in ip for _, ip, _, _ in generator.server_catalog(6))

@@ -1,0 +1,90 @@
+"""Integration tests for the end-to-end discovery pipeline (Figure 2)."""
+
+from repro.core.discovery import (
+    SOURCE_ACTIVE_DNS,
+    SOURCE_IPV6_SCAN,
+    SOURCE_PASSIVE_DNS,
+    SOURCE_TLS,
+)
+from repro.core.providers import PROVIDERS, get_provider
+
+
+def test_pipeline_covers_every_provider(small_pipeline_result):
+    assert set(small_pipeline_result.combined.providers()) == {s.key for s in PROVIDERS}
+
+
+def test_daily_results_cover_study_period(small_world, small_pipeline_result):
+    period = small_world.config.study_period
+    assert sorted(small_pipeline_result.daily_results) == period.days()
+    for day, result in small_pipeline_result.daily_results.items():
+        assert result.day == day
+        assert result.total_count() > 0
+
+
+def test_discovered_ips_belong_to_the_right_provider(small_world, small_pipeline_result):
+    servers = small_world.servers_by_ip()
+    for record in small_pipeline_result.combined.records():
+        assert record.ip in servers, record.ip
+        assert servers[record.ip].provider == record.provider_key
+
+
+def test_all_four_sources_contribute(small_pipeline_result):
+    sources = set()
+    for record in small_pipeline_result.combined.records():
+        sources.update(record.sources)
+    assert {SOURCE_TLS, SOURCE_IPV6_SCAN, SOURCE_PASSIVE_DNS, SOURCE_ACTIVE_DNS} <= sources
+
+
+def test_sni_provider_mostly_invisible_to_certificate_scans(small_pipeline_result):
+    google_records = small_pipeline_result.combined.records("google")
+    tls_only = [r for r in google_records if r.sources == {SOURCE_TLS}]
+    assert len(tls_only) <= len(google_records) * 0.2
+
+
+def test_validation_excludes_some_shared_ips(small_pipeline_result):
+    assert small_pipeline_result.validation.threshold > 0
+    dedicated = small_pipeline_result.dedicated
+    combined = small_pipeline_result.combined
+    assert dedicated.total_count() <= combined.total_count()
+
+
+def test_ground_truth_reports_all_inside_ranges(small_pipeline_result):
+    assert set(small_pipeline_result.ground_truth) == {"cisco", "siemens", "microsoft"}
+    for report in small_pipeline_result.ground_truth.values():
+        assert report.all_inside
+        assert report.precision == 1.0
+
+
+def test_microsoft_published_space_larger_than_discovered(small_pipeline_result):
+    report = small_pipeline_result.ground_truth["microsoft"]
+    assert report.published_address_count > report.discovered_count
+
+
+def test_table1_rows_complete_and_sorted(small_pipeline_result):
+    rows = small_pipeline_result.table1_rows()
+    assert len(rows) == len(PROVIDERS)
+    names = [row["provider"] for row in rows]
+    assert names == sorted(names)
+    for row in rows:
+        spec = get_provider(row["provider"])
+        assert row["strategy"] == spec.strategy or row["strategy"] in ("DI", "PR", "DI+PR")
+        assert row["ipv4_slash24"] >= 1
+
+
+def test_footprints_multi_country_majority(small_pipeline_result):
+    reports = small_pipeline_result.footprints
+    multi = sum(1 for report in reports.values() if report.multi_country)
+    assert multi >= len(reports) * 0.5
+    # Single-country providers include the China-only backends.
+    assert not reports["baidu"].multi_country
+    assert not reports["huawei"].multi_country
+
+
+def test_ipv6_discovered_only_for_supporting_providers(small_pipeline_result):
+    for spec in PROVIDERS:
+        ipv6 = small_pipeline_result.combined.ipv6_ips(spec.key)
+        if not spec.ipv6_supported or spec.base_ipv6_servers == 0:
+            assert ipv6 == set()
+    # At least a handful of providers expose IPv6 backends (7 in the paper).
+    with_ipv6 = [s.key for s in PROVIDERS if small_pipeline_result.combined.ipv6_ips(s.key)]
+    assert len(with_ipv6) >= 4

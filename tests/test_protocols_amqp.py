@@ -1,0 +1,51 @@
+"""Tests for the AMQP protocol-header model."""
+
+import pytest
+
+from repro.protocols.amqp import (
+    AmqpProtocolId,
+    AmqpServerBehaviour,
+    ProtocolHeader,
+    probe_server,
+)
+
+
+def test_header_roundtrip():
+    header = ProtocolHeader(protocol_id=AmqpProtocolId.SASL, major=1, minor=0, revision=0)
+    assert ProtocolHeader.decode(header.encode()) == header
+
+
+def test_header_has_magic_prefix():
+    assert ProtocolHeader().encode().startswith(b"AMQP")
+    assert len(ProtocolHeader().encode()) == 8
+
+
+def test_decode_invalid_header_rejected():
+    with pytest.raises(ValueError):
+        ProtocolHeader.decode(b"HTTP/1.1")
+    with pytest.raises(ValueError):
+        ProtocolHeader.decode(b"AMQ")
+
+
+def test_server_requiring_sasl_answers_sasl_header():
+    behaviour = AmqpServerBehaviour(requires_sasl=True)
+    response = behaviour.handle_header(ProtocolHeader())
+    assert response.protocol_id == AmqpProtocolId.SASL
+
+
+def test_server_echoes_when_sasl_offered():
+    behaviour = AmqpServerBehaviour(requires_sasl=True)
+    response = behaviour.handle_header(ProtocolHeader(protocol_id=AmqpProtocolId.SASL))
+    assert response.protocol_id == AmqpProtocolId.SASL
+
+
+def test_open_server_echoes_plain_header():
+    behaviour = AmqpServerBehaviour(requires_sasl=False)
+    response = behaviour.handle_header(ProtocolHeader())
+    assert response.protocol_id == AmqpProtocolId.AMQP
+
+
+def test_probe_server():
+    result = probe_server(AmqpServerBehaviour(container_id="hub-1"))
+    assert result.spoke_amqp
+    assert result.container_id == "hub-1"

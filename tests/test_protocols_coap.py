@@ -1,0 +1,80 @@
+"""Tests for the CoAP protocol model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocols.coap import (
+    CoapMessage,
+    CoapServerBehaviour,
+    Code,
+    MessageType,
+    probe_server,
+)
+
+
+def test_message_roundtrip():
+    message = CoapMessage(MessageType.CONFIRMABLE, Code.GET, 0x1234, token=b"\x01\x02", payload=b"hi")
+    assert CoapMessage.decode(message.encode()) == message
+
+
+def test_message_without_payload_roundtrip():
+    message = CoapMessage(MessageType.NON_CONFIRMABLE, Code.GET, 7)
+    assert CoapMessage.decode(message.encode()) == message
+
+
+def test_invalid_token_and_message_id_rejected():
+    with pytest.raises(ValueError):
+        CoapMessage(MessageType.CONFIRMABLE, Code.GET, 1, token=b"123456789").encode()
+    with pytest.raises(ValueError):
+        CoapMessage(MessageType.CONFIRMABLE, Code.GET, 70_000).encode()
+
+
+def test_decode_truncated_rejected():
+    with pytest.raises(ValueError):
+        CoapMessage.decode(b"\x40\x01")
+
+
+def test_code_dotted_representation():
+    assert Code.CONTENT.dotted == "2.05"
+    assert Code.UNAUTHORIZED.dotted == "4.01"
+    assert Code.CONTENT.code_class == 2
+
+
+def test_server_requires_authentication():
+    behaviour = CoapServerBehaviour(requires_authentication=True)
+    request = CoapMessage(MessageType.CONFIRMABLE, Code.GET, 9, token=b"\x07")
+    response = behaviour.handle(request)
+    assert response.code == Code.UNAUTHORIZED
+    assert response.token == request.token
+
+
+def test_open_server_returns_content():
+    behaviour = CoapServerBehaviour(requires_authentication=False)
+    request = CoapMessage(MessageType.CONFIRMABLE, Code.GET, 9)
+    response = behaviour.handle(request)
+    assert response.code == Code.CONTENT
+    assert b"well-known" in response.payload
+
+
+def test_non_get_request_reset():
+    behaviour = CoapServerBehaviour()
+    request = CoapMessage(MessageType.CONFIRMABLE, Code.POST, 9)
+    assert behaviour.handle(request).message_type == MessageType.RESET
+
+
+def test_probe_server():
+    result = probe_server(CoapServerBehaviour(requires_authentication=True))
+    assert result.spoke_coap
+    assert result.response_code == Code.UNAUTHORIZED
+
+
+@given(
+    st.sampled_from(list(MessageType)),
+    st.sampled_from([Code.GET, Code.CONTENT, Code.NOT_FOUND, Code.UNAUTHORIZED]),
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.binary(max_size=8),
+    st.binary(max_size=32),
+)
+def test_roundtrip_property(message_type, code, message_id, token, payload):
+    message = CoapMessage(message_type, code, message_id, token, payload)
+    assert CoapMessage.decode(message.encode()) == message

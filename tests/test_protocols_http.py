@@ -1,0 +1,52 @@
+"""Tests for the HTTP protocol model."""
+
+import pytest
+
+from repro.protocols.http import (
+    HttpRequest,
+    HttpResponse,
+    HttpServerBehaviour,
+    probe_server,
+)
+
+
+def test_request_roundtrip():
+    request = HttpRequest(method="GET", path="/status", host="iot.example", headers=(("X-Probe", "1"),))
+    decoded = HttpRequest.decode(request.encode())
+    assert decoded == request
+
+
+def test_response_roundtrip_and_header_lookup():
+    response = HttpResponse(200, "OK", (("Server", "gw"), ("Connection", "close")), body="hello")
+    decoded = HttpResponse.decode(response.encode())
+    assert decoded == response
+    assert decoded.header("server") == "gw"
+    assert decoded.header("missing") is None
+
+
+def test_malformed_request_and_response_rejected():
+    with pytest.raises(ValueError):
+        HttpRequest.decode("NOT A REQUEST")
+    with pytest.raises(ValueError):
+        HttpResponse.decode("garbage\r\n\r\n")
+
+
+def test_server_distinguishes_known_hosts():
+    behaviour = HttpServerBehaviour(
+        server_header="iot-gw", known_hosts=("tenant.iot.example",), status_for_known_host=401
+    )
+    known = behaviour.handle(HttpRequest(host="tenant.iot.example"))
+    unknown = behaviour.handle(HttpRequest(host="other.example"))
+    assert known.status_code == 401
+    assert unknown.status_code == 404
+
+
+def test_server_without_host_restriction():
+    behaviour = HttpServerBehaviour(status_for_known_host=200)
+    assert behaviour.handle(HttpRequest()).status_code == 200
+
+
+def test_probe_server():
+    result = probe_server(HttpServerBehaviour(server_header="iot-gateway"))
+    assert result.spoke_http
+    assert result.server_header == "iot-gateway"

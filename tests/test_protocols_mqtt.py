@@ -1,0 +1,96 @@
+"""Tests for the MQTT protocol model (wire format and broker behaviour)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocols.mqtt import (
+    ConnackPacket,
+    ConnectPacket,
+    ConnectReturnCode,
+    MqttBrokerBehaviour,
+    decode_remaining_length,
+    encode_remaining_length,
+    probe_broker,
+)
+
+
+def test_connect_roundtrip():
+    packet = ConnectPacket(client_id="probe", username="user", password="secret", keep_alive=30)
+    decoded = ConnectPacket.decode(packet.encode())
+    assert decoded == packet
+
+
+def test_connect_without_credentials_roundtrip():
+    packet = ConnectPacket(client_id="probe")
+    decoded = ConnectPacket.decode(packet.encode())
+    assert decoded.username is None and decoded.password is None
+
+
+def test_password_without_username_rejected():
+    with pytest.raises(ValueError):
+        ConnectPacket(client_id="x", password="oops").encode()
+
+
+def test_connack_roundtrip_and_accepted_flag():
+    packet = ConnackPacket(ConnectReturnCode.ACCEPTED, session_present=True)
+    decoded = ConnackPacket.decode(packet.encode())
+    assert decoded == packet
+    assert decoded.accepted
+    assert not ConnackPacket(ConnectReturnCode.NOT_AUTHORIZED).accepted
+
+
+def test_decode_wrong_packet_type_rejected():
+    connack = ConnackPacket(ConnectReturnCode.ACCEPTED).encode()
+    with pytest.raises(ValueError):
+        ConnectPacket.decode(connack)
+
+
+def test_broker_requires_authentication():
+    behaviour = MqttBrokerBehaviour(requires_authentication=True)
+    reply = behaviour.handle_connect(ConnectPacket(client_id="probe"))
+    assert reply.return_code == ConnectReturnCode.NOT_AUTHORIZED
+    reply = behaviour.handle_connect(ConnectPacket(client_id="probe", username="u", password="p"))
+    assert reply.return_code == ConnectReturnCode.BAD_USERNAME_OR_PASSWORD
+
+
+def test_broker_open_accepts():
+    behaviour = MqttBrokerBehaviour(requires_authentication=False)
+    assert behaviour.handle_connect(ConnectPacket(client_id="probe")).accepted
+
+
+def test_broker_rejects_empty_client_id_and_bad_protocol():
+    behaviour = MqttBrokerBehaviour(requires_authentication=False)
+    assert (
+        behaviour.handle_connect(ConnectPacket(client_id="")).return_code
+        == ConnectReturnCode.IDENTIFIER_REJECTED
+    )
+    old = ConnectPacket(client_id="probe", protocol_level=3)
+    assert (
+        behaviour.handle_connect(old).return_code
+        == ConnectReturnCode.UNACCEPTABLE_PROTOCOL_VERSION
+    )
+
+
+def test_probe_broker_records_connack():
+    result = probe_broker(MqttBrokerBehaviour(requires_authentication=True))
+    assert result.spoke_mqtt
+    assert not result.connected
+    open_result = probe_broker(MqttBrokerBehaviour(requires_authentication=False))
+    assert open_result.connected
+
+
+@given(st.integers(min_value=0, max_value=268_435_455))
+def test_remaining_length_roundtrip(value):
+    encoded = encode_remaining_length(value)
+    decoded, consumed = decode_remaining_length(encoded)
+    assert decoded == value
+    assert consumed == len(encoded)
+
+
+@given(
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=1, max_size=23),
+    st.integers(min_value=0, max_value=0xFFFF),
+)
+def test_connect_roundtrip_property(client_id, keep_alive):
+    packet = ConnectPacket(client_id=client_id, keep_alive=keep_alive)
+    assert ConnectPacket.decode(packet.encode()) == packet

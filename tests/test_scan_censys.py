@@ -1,0 +1,92 @@
+"""Tests for the Censys-like scanning service."""
+
+from datetime import date
+
+from repro.netmodel.geo import GeoDatabase, world_locations
+from repro.netmodel.topology import BackendServer, ServiceEndpoint
+from repro.scan.censys import CensysService, CensysSnapshot, CensysHostRecord
+from repro.scan.certificates import make_certificate
+from repro.scan.tls import TlsServerConfig
+
+DAY = date(2022, 2, 28)
+
+
+def _server(ip: str, domain: str, require_sni: bool = False, require_client_cert: bool = False):
+    cert = make_certificate([domain], not_before=date(2021, 6, 1), not_after=date(2023, 6, 1))
+    tls = TlsServerConfig(
+        default_certificate=None if require_sni else cert,
+        sni_certificates={domain: cert},
+        require_sni=require_sni,
+        require_client_certificate=require_client_cert,
+    )
+    return BackendServer(
+        ip=ip,
+        provider="acme",
+        location=world_locations()[0],
+        asn=65001,
+        prefix="10.0.0.0/24",
+        endpoints=(
+            ServiceEndpoint("tcp", 443, "HTTPS", tls=tls),
+            ServiceEndpoint("tcp", 8883, "MQTTS", tls=tls),
+        ),
+        domains=(domain,),
+    )
+
+
+def _service(servers):
+    geo = GeoDatabase()
+    return CensysService(geo_database=geo, host_source=lambda day: servers)
+
+
+def test_snapshot_contains_certificates_of_plain_servers():
+    service = _service([_server("10.0.0.1", "gw.acme-iot.example")])
+    snapshot = service.snapshot(DAY)
+    record = snapshot.get("10.0.0.1")
+    assert record is not None
+    assert ("tcp", 443) in record.open_ports
+    assert any("gw.acme-iot.example" in c.all_dns_names() for c in record.certificates)
+
+
+def test_sni_required_server_yields_no_certificates():
+    service = _service([_server("10.0.0.2", "gw.acme-iot.example", require_sni=True)])
+    record = service.snapshot(DAY).get("10.0.0.2")
+    assert record is not None
+    assert record.certificates == ()
+
+
+def test_client_cert_required_server_yields_no_certificates():
+    service = _service([_server("10.0.0.3", "gw.acme-iot.example", require_client_cert=True)])
+    record = service.snapshot(DAY).get("10.0.0.3")
+    assert record is not None
+    assert record.certificates == ()
+
+
+def test_snapshot_is_cached_and_ipv6_skipped():
+    servers = [_server("10.0.0.1", "a.example"), _server("fd00::1", "b.example")]
+    service = _service(servers)
+    snapshot = service.snapshot(DAY)
+    assert service.snapshot(DAY) is snapshot
+    assert snapshot.get("fd00::1") is None
+
+
+def test_search_certificates_regex():
+    service = _service([_server("10.0.0.1", "tenant.iot.acme.example")])
+    snapshot = service.snapshot(DAY)
+    matches = snapshot.search_certificates(r"\.iot\.acme\.example$")
+    assert [m[0] for m in matches] == ["10.0.0.1"]
+    assert snapshot.search_certificates(r"\.does-not-exist\.example$") == []
+
+
+def test_search_name_string():
+    service = _service([_server("10.0.0.1", "tenant.iot.acme.example")])
+    snapshot = service.snapshot(DAY)
+    assert snapshot.search_name_string("*.iot.acme.example")
+    assert not snapshot.search_name_string("*.other.example")
+
+
+def test_banners_collected():
+    service = _service([_server("10.0.0.1", "gw.example")])
+    record = service.snapshot(DAY).get("10.0.0.1")
+    protocols = {banner.protocol for banner in record.banners}
+    assert "HTTPS" in protocols
+    assert "MQTTS" in protocols
