@@ -1,0 +1,136 @@
+"""Benchmark P-F1: grouped flow aggregation, record scan vs. columnar table.
+
+Times the seed-equivalent linear pass over ``FlowRecord`` lists against the
+columnar :class:`~repro.flows.flowtable.FlowTable` on a >=500k-flow corpus for
+the hottest Section 5 aggregation (per provider x hour down/up volume) plus a
+distinct-count grouping, and records the numbers in ``BENCH_flowtable.json``
+at the repository root so future PRs can track the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from collections import defaultdict
+from datetime import datetime
+from pathlib import Path
+
+from conftest import emit
+
+from repro.flows.flowtable import FlowTable
+from repro.flows.netflow import make_flow
+
+FLOW_COUNT = 500_000
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_flowtable.json"
+
+_PROVIDERS = (
+    "amazon", "google", "microsoft", "bosch", "siemens", "ibm", "oracle", "sap",
+)
+_CONTINENTS = ("EU", "NA", "AS")
+_PORTS = (443, 8883, 1883, 5683, 5671, 61616)
+
+
+def _generate_flows(count: int, seed: int = 99) -> list:
+    rng = random.Random(seed)
+    timestamps = [datetime(2022, 3, 1 + day, hour) for day in range(7) for hour in range(24)]
+    flows = []
+    for _ in range(count):
+        provider = _PROVIDERS[rng.randrange(len(_PROVIDERS))]
+        ip_version = 6 if rng.random() < 0.25 else 4
+        server = (
+            f"fd00::{rng.randrange(1, 4096):x}"
+            if ip_version == 6
+            else f"10.{rng.randrange(16)}.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+        )
+        flows.append(
+            make_flow(
+                timestamp=timestamps[rng.randrange(len(timestamps))],
+                subscriber_id=rng.randrange(20_000),
+                subscriber_prefix=f"prefix-{rng.randrange(256)}",
+                ip_version=ip_version,
+                provider_key=provider,
+                server_ip=server,
+                server_continent=_CONTINENTS[rng.randrange(len(_CONTINENTS))],
+                server_region="eu-central-1",
+                transport="tcp" if rng.random() < 0.85 else "udp",
+                port=_PORTS[rng.randrange(len(_PORTS))],
+                bytes_down=rng.uniform(100, 100_000),
+                bytes_up=rng.uniform(10, 10_000),
+            )
+        )
+    return flows
+
+
+def _naive_volume_by_provider_hour(flows):
+    """The seed implementation shape: one attribute-accessing pass per analysis."""
+    sums = defaultdict(lambda: [0.0, 0.0])
+    for flow in flows:
+        bucket = sums[(flow.provider_key, flow.timestamp)]
+        bucket[0] += flow.bytes_down
+        bucket[1] += flow.bytes_up
+    return dict(sums)
+
+
+def _naive_active_lines_by_provider_hour(flows):
+    lines = defaultdict(set)
+    for flow in flows:
+        lines[(flow.provider_key, flow.timestamp)].add(flow.subscriber_id)
+    return {key: len(values) for key, values in lines.items()}
+
+
+def _best_of(callable_, repeats=3):
+    """Best-of-N wall time plus the last result (reduces scheduler noise)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_perf_flowtable_grouped_aggregation():
+    flows = _generate_flows(FLOW_COUNT)
+
+    naive_volume_seconds, naive_volume = _best_of(lambda: _naive_volume_by_provider_hour(flows))
+    naive_lines_seconds, naive_lines = _best_of(lambda: _naive_active_lines_by_provider_hour(flows))
+
+    start = time.perf_counter()
+    table = FlowTable.from_records(flows)
+    build_seconds = time.perf_counter() - start
+
+    table_volume_seconds, table_volume = _best_of(
+        lambda: table.group_sums(("provider_key", "timestamp"), ("bytes_down", "bytes_up"))
+    )
+    table_lines_seconds, table_lines = _best_of(
+        lambda: table.group_distinct_count(("provider_key", "timestamp"), "subscriber_id")
+    )
+
+    # Parity with the naive pass.
+    assert set(table_volume) == set(naive_volume)
+    for key, (down, up) in naive_volume.items():
+        assert abs(table_volume[key][0] - down) < 1e-6 * max(1.0, down)
+        assert abs(table_volume[key][1] - up) < 1e-6 * max(1.0, up)
+    assert table_lines == naive_lines
+
+    payload = {
+        "benchmark": "flowtable-grouped-aggregation",
+        "flow_count": len(flows),
+        "group_count": len(table_volume),
+        "build_seconds": round(build_seconds, 4),
+        "naive_volume_seconds": round(naive_volume_seconds, 4),
+        "table_volume_seconds": round(table_volume_seconds, 4),
+        "volume_rows_per_sec": round(len(flows) / table_volume_seconds),
+        "volume_speedup": round(naive_volume_seconds / table_volume_seconds, 2),
+        "naive_distinct_seconds": round(naive_lines_seconds, 4),
+        "table_distinct_seconds": round(table_lines_seconds, 4),
+        "distinct_speedup": round(naive_lines_seconds / table_lines_seconds, 2),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    emit("Benchmark: columnar grouped aggregation", json.dumps(payload, indent=2))
+
+    # The columnar pass must at least keep up with the naive scan; the win is
+    # that conversion happens once while the analyses run many aggregations.
+    assert table_volume_seconds < naive_volume_seconds * 1.5

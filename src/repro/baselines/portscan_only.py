@@ -55,11 +55,7 @@ def portscan_only_discovery(
     of the reference (methodology-discovered IPv4) addresses appear in the
     candidate set at all.
     """
-    port_set = {(t.lower(), p) for t, p in iot_ports}
-    candidates: Set[str] = set()
-    for record in snapshot.hosts():
-        if any((transport, port) in port_set for transport, port in record.open_ports):
-            candidates.add(record.ip)
+    candidates = snapshot.ips_with_open_ports(iot_ports)
     reference_ipv4 = reference.ipv4_ips()
     # Restrict the comparison to addresses present in the snapshot: the baseline
     # can only ever see what the scanner probed.

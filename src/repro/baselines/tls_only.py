@@ -20,9 +20,14 @@ def tls_only_discovery(
     snapshots: Iterable[CensysSnapshot],
     pattern_set: Optional[PatternSet] = None,
 ) -> DiscoveryResult:
-    """Discover backend addresses using only IPv4 TLS-certificate scan data."""
+    """Discover backend addresses using only IPv4 TLS-certificate scan data.
+
+    One :class:`BackendDiscovery` (and therefore one compiled pattern engine
+    with a shared lookup cache) serves all snapshots: certificate names repeat
+    across the daily snapshots, so each distinct name is classified only once
+    for the whole period.
+    """
     discovery = BackendDiscovery(pattern_set)
-    combined = DiscoveryResult()
-    for snapshot in snapshots:
-        combined.merge(discovery.discover_from_censys(snapshot))
-    return combined
+    return discovery.combine(
+        discovery.discover_from_censys(snapshot) for snapshot in snapshots
+    )

@@ -23,7 +23,7 @@ from datetime import date
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.patterns import PatternSet
-from repro.dns.passive_db import PassiveDnsDatabase
+from repro.dns.passive_db import PassiveDnsDatabase, PassiveDnsRecord
 from repro.dns.resolver import StubResolver, VantagePoint
 from repro.dns.zone import RTYPE_A, RTYPE_AAAA
 from repro.dns.authoritative import AuthoritativeNameServer
@@ -153,8 +153,11 @@ class DiscoveryResult:
         return sum(len(bucket) for bucket in self.per_provider.values())
 
 
-def _match_certificate_name(pattern_set: PatternSet, name: str) -> Optional[str]:
-    """Match a certificate DNS name (possibly a wildcard) against the pattern set."""
+def _match_certificate_name(pattern_set, name: str) -> Optional[str]:
+    """Match a certificate DNS name (possibly a wildcard) against the pattern set.
+
+    Accepts a :class:`PatternSet` or its compiled engine (anything with ``match``).
+    """
     candidate = name.lower().rstrip(".")
     if candidate.startswith("*."):
         candidate = "wildcard." + candidate[2:]
@@ -162,7 +165,13 @@ def _match_certificate_name(pattern_set: PatternSet, name: str) -> Optional[str]
 
 
 class BackendDiscovery:
-    """Implements the four discovery sources against the measurement services."""
+    """Implements the four discovery sources against the measurement services.
+
+    All name classification goes through the pattern set's suffix-indexed
+    compiled engine (:meth:`PatternSet.engine`), and every source iterates
+    *distinct* names (certificate-name index, passive-DNS owner-name index)
+    so each name is classified exactly once per snapshot/database.
+    """
 
     def __init__(self, pattern_set: Optional[PatternSet] = None) -> None:
         self.pattern_set = pattern_set or PatternSet.for_providers()
@@ -172,20 +181,21 @@ class BackendDiscovery:
     def discover_from_censys(self, snapshot: CensysSnapshot) -> DiscoveryResult:
         """Attribute scanned IPv4 hosts to providers via their certificates."""
         result = DiscoveryResult(day=snapshot.snapshot_date)
-        for record in snapshot.hosts():
-            for certificate in record.certificates:
-                for name in certificate.all_dns_names():
-                    provider_key = _match_certificate_name(self.pattern_set, name)
-                    if provider_key is None:
-                        continue
-                    result.add(
-                        DiscoveredIP(
-                            ip=record.ip,
-                            provider_key=provider_key,
-                            sources={SOURCE_TLS},
-                            domains={name.lower().rstrip(".")},
-                        )
+        engine = self.pattern_set.engine()
+        for name, ips in snapshot.certificate_name_index().items():
+            provider_key = _match_certificate_name(engine, name)
+            if provider_key is None:
+                continue
+            domain = name.lower().rstrip(".")
+            for ip in ips:
+                result.add(
+                    DiscoveredIP(
+                        ip=ip,
+                        provider_key=provider_key,
+                        sources={SOURCE_TLS},
+                        domains={domain},
                     )
+                )
         return result
 
     # -- IPv6 application-layer scans --------------------------------------------------
@@ -193,11 +203,12 @@ class BackendDiscovery:
     def discover_from_ipv6_scan(self, scan_results: Sequence[ZGrabResult]) -> DiscoveryResult:
         """Attribute IPv6 hitlist hosts to providers via scan certificates."""
         result = DiscoveryResult()
+        engine = self.pattern_set.engine()
         for scan in scan_results:
             if scan.certificate is None:
                 continue
             for name in scan.certificate.all_dns_names():
-                provider_key = _match_certificate_name(self.pattern_set, name)
+                provider_key = _match_certificate_name(engine, name)
                 if provider_key is None:
                     continue
                 result.add(
@@ -212,6 +223,56 @@ class BackendDiscovery:
 
     # -- passive DNS --------------------------------------------------------------------
 
+    def passive_dns_observations(
+        self,
+        database: PassiveDnsDatabase,
+        since: Optional[date] = None,
+        until: Optional[date] = None,
+    ) -> List[Tuple[str, PassiveDnsRecord]]:
+        """Provider-attributed passive-DNS observations for a time window.
+
+        Each distinct owner name in the database is classified once against the
+        compiled pattern engine; every observation of a matching name that
+        overlaps the window yields one ``(provider_key, record)`` pair (one per
+        matching provider, mirroring the legacy per-provider flex searches).
+        The pairs can be re-filtered to any sub-window with
+        :meth:`result_from_passive_observations` without re-matching names --
+        the daily pipeline slices the period-wide result this way.
+        """
+        engine = self.pattern_set.engine()
+        observations: List[Tuple[str, PassiveDnsRecord]] = []
+        for name, records in database.iter_names():
+            providers = engine.match_all(name)
+            if not providers:
+                continue
+            for record in records:
+                if not record.overlaps(since, until):
+                    continue
+                for provider_key in providers:
+                    observations.append((provider_key, record))
+        return observations
+
+    def result_from_passive_observations(
+        self,
+        observations: Iterable[Tuple[str, PassiveDnsRecord]],
+        since: Optional[date] = None,
+        until: Optional[date] = None,
+    ) -> DiscoveryResult:
+        """Build a discovery result from attributed observations, optionally sliced."""
+        result = DiscoveryResult()
+        for provider_key, record in observations:
+            if not record.overlaps(since, until):
+                continue
+            result.add(
+                DiscoveredIP(
+                    ip=record.rdata,
+                    provider_key=provider_key,
+                    sources={SOURCE_PASSIVE_DNS},
+                    domains={record.rrname},
+                )
+            )
+        return result
+
     def discover_from_passive_dns(
         self,
         database: PassiveDnsDatabase,
@@ -219,19 +280,9 @@ class BackendDiscovery:
         until: Optional[date] = None,
     ) -> DiscoveryResult:
         """Attribute addresses observed in passive DNS to providers."""
-        result = DiscoveryResult()
-        for provider_key in self.pattern_set.providers():
-            for pattern in self.pattern_set.patterns_for(provider_key):
-                for record in database.flex_search(pattern.regex, since=since, until=until):
-                    result.add(
-                        DiscoveredIP(
-                            ip=record.rdata,
-                            provider_key=provider_key,
-                            sources={SOURCE_PASSIVE_DNS},
-                            domains={record.rrname},
-                        )
-                    )
-        return result
+        return self.result_from_passive_observations(
+            self.passive_dns_observations(database, since=since, until=until)
+        )
 
     # -- active DNS ---------------------------------------------------------------------
 
@@ -244,9 +295,10 @@ class BackendDiscovery:
     ) -> DiscoveryResult:
         """Resolve the given domains from every vantage point and attribute answers."""
         result = DiscoveryResult()
+        engine = self.pattern_set.engine()
         resolvers = [StubResolver(authoritative, vp, retries=retries) for vp in vantage_points]
         for domain in sorted(set(domains)):
-            provider_key = self.pattern_set.match(domain)
+            provider_key = engine.match(domain)
             if provider_key is None:
                 continue
             for resolver in resolvers:

@@ -13,6 +13,10 @@ is ``<subdomain>.<region>.<second-level-domain>``:
 The same patterns are translated into the query formats of the external services
 the paper uses: DNSDB *flexible search* (regex) and *basic search* (left-hand
 wildcard), and Censys certificate string searches.
+
+Matching is delegated to the suffix-indexed, compile-once engine in
+:mod:`repro.core.matcher`; the dataclasses here stay the declarative source of
+truth (regex text plus the suffix hints the engine indexes on).
 """
 
 from __future__ import annotations
@@ -43,21 +47,44 @@ CUSTOMER_TERM = r"[a-z0-9][a-z0-9-]*"
 
 @dataclass(frozen=True)
 class DomainPattern:
-    """A compiled regular expression matching one provider's backend domains."""
+    """A compiled regular expression matching one provider's backend domains.
+
+    ``suffix_hint`` carries the literal registrable suffix the regex is anchored
+    on (``exact_hint`` marks full-FQDN patterns); the suffix index of
+    :class:`repro.core.matcher.CompiledPatternSet` uses the hints to place the
+    pattern without re-parsing the regex.
+    """
 
     provider_key: str
     regex: str
     description: str = ""
+    suffix_hint: str = ""
+    exact_hint: bool = False
+    _compiled: Optional[re.Pattern] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def compiled(self) -> re.Pattern:
-        """Return the compiled pattern (case-insensitive)."""
-        return re.compile(self.regex, re.IGNORECASE)
+        """Return the compiled pattern (case-insensitive), compiling it once."""
+        if self._compiled is None:
+            object.__setattr__(self, "_compiled", re.compile(self.regex, re.IGNORECASE))
+        return self._compiled
 
     def matches(self, fqdn: str) -> bool:
-        """Return True when the FQDN (with or without trailing dot) matches."""
+        """Return True when the FQDN (with or without trailing dot) matches.
+
+        Every generated regex ends in ``\\.?$``, for which a single anchored
+        search on the dot-stripped name provably covers both spellings.  Any
+        other (hand-built) regex keeps the legacy dual search: one retry
+        against the dotted spelling after a miss.
+        """
         name = fqdn.rstrip(".").lower()
         pattern = self.compiled()
-        return bool(pattern.search(name) or pattern.search(name + "."))
+        if pattern.search(name):
+            return True
+        if self.regex.endswith(r"\.?$"):
+            return False
+        return pattern.search(name + ".") is not None
 
 
 def _escape_sld(second_level_domain: str) -> str:
@@ -90,14 +117,22 @@ def build_patterns(spec: ProviderSpec) -> List[DomainPattern]:
 
     if scheme.subdomain_kind == SUBDOMAIN_FIXED:
         for fqdn in scheme.fixed_fqdns:
-            regex = r"^" + re.escape(fqdn.rstrip(".")) + r"\.?$"
+            name = fqdn.rstrip(".")
+            regex = r"^" + re.escape(name) + r"\.?$"
             patterns.append(
-                DomainPattern(spec.key, regex, f"fixed FQDN {fqdn} ({spec.name})")
+                DomainPattern(
+                    spec.key,
+                    regex,
+                    f"fixed FQDN {fqdn} ({spec.name})",
+                    suffix_hint=name.lower(),
+                    exact_hint=True,
+                )
             )
         return patterns
 
     region = _region_term(scheme)
     region_part = rf"(?:\.{region})?" if region else ""
+    suffix_hint = scheme.second_level_domain.rstrip(".").lower()
 
     if scheme.subdomain_kind == SUBDOMAIN_SERVICE:
         labels = "|".join(re.escape(label) for label in scheme.service_labels)
@@ -110,6 +145,7 @@ def build_patterns(spec: ProviderSpec) -> List[DomainPattern]:
                 spec.key,
                 regex,
                 f"service labels ({', '.join(scheme.service_labels)}) under {scheme.second_level_domain}",
+                suffix_hint=suffix_hint,
             )
         )
         return patterns
@@ -126,7 +162,7 @@ def build_patterns(spec: ProviderSpec) -> List[DomainPattern]:
     else:
         regex = rf"^{CUSTOMER_TERM}{region_part}\.{sld}\.?$"
         description = f"customer id under {scheme.second_level_domain}"
-    patterns.append(DomainPattern(spec.key, regex, description))
+    patterns.append(DomainPattern(spec.key, regex, description, suffix_hint=suffix_hint))
     return patterns
 
 
@@ -177,9 +213,21 @@ def censys_string_queries(spec: ProviderSpec, region_codes: Sequence[str] = ()) 
 
 @dataclass
 class PatternSet:
-    """The full pattern collection of the study, indexed by provider."""
+    """The full pattern collection of the study, indexed by provider.
+
+    All lookups delegate to a lazily built
+    :class:`repro.core.matcher.CompiledPatternSet`: patterns are compiled once,
+    indexed by registrable-suffix, and single lookups are LRU-cached.  The
+    engine is rebuilt automatically when the ``patterns`` mapping changes.
+    """
 
     patterns: Dict[str, List[DomainPattern]] = field(default_factory=dict)
+    _engine: Optional["CompiledPatternSet"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _engine_fingerprint: Optional[Tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def for_providers(cls, providers: Iterable[ProviderSpec] = PROVIDERS) -> "PatternSet":
@@ -197,25 +245,47 @@ class PatternSet:
         """Return the patterns of one provider."""
         return list(self.patterns.get(provider_key, []))
 
+    def engine(self) -> "CompiledPatternSet":
+        """Return the compiled matching engine for the current patterns.
+
+        The engine is cached; a cheap fingerprint over the pattern collection
+        detects mutation of :attr:`patterns` and triggers a rebuild, so the
+        public mutable mapping keeps working as before.
+        """
+        from repro.core.matcher import CompiledPatternSet
+
+        fingerprint = tuple(
+            (key, tuple(patterns)) for key, patterns in self.patterns.items()
+        )
+        if self._engine is None or fingerprint != self._engine_fingerprint:
+            self._engine = CompiledPatternSet.from_patterns(self.patterns)
+            self._engine_fingerprint = fingerprint
+        return self._engine
+
     def match(self, fqdn: str) -> Optional[str]:
         """Return the provider key whose pattern matches the FQDN, or None.
 
         Provider domains are designed to be mutually exclusive (each provider has
-        its own registrable domain), so the first match is returned; iteration
-        order is alphabetical for determinism.
+        its own registrable domain), so the first match is returned; ties are
+        broken alphabetically for determinism, as in the legacy linear scan.
         """
-        for provider_key in sorted(self.patterns):
-            if self.matches_provider(fqdn, provider_key):
-                return provider_key
-        return None
+        return self.engine().match(fqdn)
+
+    def match_all(self, fqdn: str) -> Tuple[str, ...]:
+        """Return every provider key whose patterns match the FQDN (sorted)."""
+        return self.engine().match_all(fqdn)
+
+    def match_many(self, fqdns: Iterable[str]) -> Dict[str, Optional[str]]:
+        """Bulk-classify FQDNs; see :meth:`CompiledPatternSet.match_many`."""
+        return self.engine().match_many(fqdns)
 
     def matches_provider(self, fqdn: str, provider_key: str) -> bool:
         """Return True when the FQDN matches any pattern of the provider."""
-        return any(pattern.matches(fqdn) for pattern in self.patterns.get(provider_key, []))
+        return self.engine().matches_provider(fqdn, provider_key)
 
     def matches_any(self, fqdn: str) -> bool:
         """Return True when the FQDN matches any provider's pattern."""
-        return self.match(fqdn) is not None
+        return self.engine().matches_any(fqdn)
 
 
 def appendix_table(providers: Iterable[ProviderSpec] = PROVIDERS) -> List[Dict[str, str]]:

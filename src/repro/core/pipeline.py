@@ -112,9 +112,25 @@ class DiscoveryPipeline:
 
     # -- daily and period runs --------------------------------------------------------
 
-    def discover_day(self, day: date, active_dns_domains: Optional[Sequence[str]] = None) -> DiscoveryResult:
-        """Run all four sources for one day and combine them."""
-        passive = self.discover_passive_dns(day, day)
+    def discover_day(
+        self,
+        day: date,
+        active_dns_domains: Optional[Sequence[str]] = None,
+        passive_observations: Optional[Sequence] = None,
+    ) -> DiscoveryResult:
+        """Run all four sources for one day and combine them.
+
+        When the caller has already classified the period's passive-DNS
+        observations (see :meth:`BackendDiscovery.passive_dns_observations`),
+        pass them via ``passive_observations``: the day's passive result is then
+        a cheap time-slice of the period result instead of a full re-query.
+        """
+        if passive_observations is None:
+            passive = self.discover_passive_dns(day, day)
+        else:
+            passive = self.discovery.result_from_passive_observations(
+                passive_observations, since=day, until=day
+            )
         if active_dns_domains is None:
             active_dns_domains = sorted(passive.domains())
         results = [
@@ -126,13 +142,25 @@ class DiscoveryPipeline:
         return self.discovery.combine(results, day=day)
 
     def run(self, period: Optional[StudyPeriod] = None) -> PipelineResult:
-        """Run the methodology for a whole study period."""
+        """Run the methodology for a whole study period.
+
+        Passive DNS is queried (and every owner name classified) once for the
+        whole period; the per-day passive results are overlap-filtered slices of
+        those period observations.
+        """
         period = period or self.world.config.study_period
-        period_passive = self.discover_passive_dns(period.start, period.end)
+        period_observations = self.discovery.passive_dns_observations(
+            self.world.passive_dns, since=period.start, until=period.end
+        )
+        period_passive = self.discovery.result_from_passive_observations(period_observations)
         active_domains = sorted(period_passive.domains())
         daily_results: Dict[date, DiscoveryResult] = {}
         for day in period.days():
-            daily_results[day] = self.discover_day(day, active_dns_domains=active_domains)
+            daily_results[day] = self.discover_day(
+                day,
+                active_dns_domains=active_domains,
+                passive_observations=period_observations,
+            )
         combined = DiscoveryResult()
         for day in sorted(daily_results):
             combined.merge(daily_results[day])

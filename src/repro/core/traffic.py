@@ -6,6 +6,14 @@ discovery pipeline.  Provider names are anonymized with an
 :class:`~repro.flows.anonymize.AnonymizationMap` before any per-provider numbers
 are reported, mirroring the paper's data-sharing agreement.
 
+Every analysis accepts either a plain record sequence or a columnar
+:class:`~repro.flows.flowtable.FlowTable`; inputs are converted once via
+:meth:`FlowTable.ensure` and all grouping/filtering runs on the table's
+dictionary-encoded columns instead of repeated linear passes over dataclass
+instances.  Callers that run several analyses over the same flows (the
+``repro.experiments`` layer) should pass a shared ``FlowTable`` so the
+conversion happens once.
+
 The module provides, in paper order:
 
 * scanner identification and exclusion (Figure 5),
@@ -22,12 +30,14 @@ from __future__ import annotations
 
 import bisect
 from collections import defaultdict
+from itertools import compress
 from dataclasses import dataclass, field
 from datetime import date, datetime
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.discovery import DiscoveryResult
 from repro.flows.anonymize import AnonymizationMap
+from repro.flows.flowtable import FlowTable
 from repro.flows.netflow import FlowRecord
 from repro.netmodel.geo import (
     CONTINENT_ASIA,
@@ -38,6 +48,9 @@ from repro.protocols.ports import port_label
 
 #: Default scanner threshold adopted by the paper after the sensitivity analysis.
 DEFAULT_SCANNER_THRESHOLD = 100
+
+#: Analyses accept plain record sequences or an already-built columnar table.
+Flows = Union[FlowTable, Sequence[FlowRecord]]
 
 
 # ---------------------------------------------------------------------------------
@@ -92,14 +105,35 @@ class ScannerThresholdPoint:
 
 
 class ScannerExclusion:
-    """Identifies subscriber lines hosting scanners from their backend fan-out."""
+    """Identifies subscriber lines hosting scanners from their backend fan-out.
 
-    def __init__(self, flows: Sequence[FlowRecord], backend_ips: Set[str]) -> None:
+    ``mask`` optionally restricts the analysis to a row subset of a table
+    (e.g. one study day) without materializing a filtered copy.
+    """
+
+    def __init__(
+        self,
+        flows: Flows,
+        backend_ips: Set[str],
+        mask: Optional[Sequence[int]] = None,
+    ) -> None:
         self.backend_ips = set(backend_ips)
         self._contacts: Dict[int, Set[str]] = defaultdict(set)
-        for flow in flows:
-            if flow.server_ip in self.backend_ips:
-                self._contacts[flow.subscriber_id].add(flow.server_ip)
+        table = FlowTable.ensure(flows)
+        ip_pool = table.pool("server_ip")
+        is_backend = bytearray(len(ip_pool))
+        for code, ip in enumerate(ip_pool):
+            if ip in self.backend_ips:
+                is_backend[code] = 1
+        lines: Iterable = table.numeric("subscriber_id")
+        codes: Iterable = table.codes("server_ip")
+        if mask is not None:
+            lines = compress(lines, mask)
+            codes = compress(codes, mask)
+        contacts = self._contacts
+        for line, code in zip(lines, codes):
+            if is_backend[code]:
+                contacts[line].add(ip_pool[code])
 
     def contacts_per_line(self) -> Dict[int, int]:
         """Number of distinct backend addresses contacted per subscriber line."""
@@ -134,18 +168,22 @@ class ScannerExclusion:
         return points
 
 
-def exclude_scanner_flows(
-    flows: Sequence[FlowRecord], scanner_lines: Set[int]
-) -> List[FlowRecord]:
-    """Drop all flows of the given scanner lines."""
+def exclude_scanner_flows(flows: Flows, scanner_lines: Set[int]) -> Flows:
+    """Drop all flows of the given scanner lines.
+
+    Returns the same container kind it was given: a filtered ``FlowTable`` for
+    table input, a list of records otherwise.
+    """
+    if isinstance(flows, FlowTable):
+        return flows.exclude_subscribers(scanner_lines)
     return [flow for flow in flows if flow.subscriber_id not in scanner_lines]
 
 
 def identify_and_exclude_scanners(
-    flows: Sequence[FlowRecord],
+    flows: Flows,
     backend_ips: Set[str],
     threshold: int = DEFAULT_SCANNER_THRESHOLD,
-) -> Tuple[List[FlowRecord], Set[int]]:
+) -> Tuple[Flows, Set[int]]:
     """Convenience helper: identify scanners and return (clean flows, scanner lines)."""
     exclusion = ScannerExclusion(flows, backend_ips)
     scanners = exclusion.scanner_lines(threshold)
@@ -179,14 +217,13 @@ class VisibilityRow:
 
 
 def visibility_per_provider(
-    flows: Sequence[FlowRecord],
+    flows: Flows,
     result: DiscoveryResult,
     anonymization: AnonymizationMap,
 ) -> List[VisibilityRow]:
     """Compute, per provider, the fraction of discovered addresses seen in traffic."""
-    contacted: Dict[str, Set[str]] = defaultdict(set)
-    for flow in flows:
-        contacted[flow.provider_key].add(flow.server_ip)
+    table = FlowTable.ensure(flows)
+    contacted = table.group_distinct(("provider_key",), "server_ip")
     rows: List[VisibilityRow] = []
     for provider_key in result.providers():
         ipv4_total = result.ipv4_ips(provider_key)
@@ -204,14 +241,13 @@ def visibility_per_provider(
     return sorted(rows, key=lambda row: _label_sort_key(row.label))
 
 
-def overall_visibility(
-    flows: Sequence[FlowRecord], result: DiscoveryResult, ip_version: int
-) -> float:
+def overall_visibility(flows: Flows, result: DiscoveryResult, ip_version: int) -> float:
     """Overall fraction of discovered addresses of a family seen in traffic."""
     total = result.ipv4_ips() if ip_version == 4 else result.ipv6_ips()
     if not total:
         return 0.0
-    contacted = {flow.server_ip for flow in flows if flow.server_ip in total}
+    table = FlowTable.ensure(flows)
+    contacted = {ip for ip in table.distinct("server_ip") if ip in total}
     return len(contacted) / len(total)
 
 
@@ -238,25 +274,24 @@ class SubscriberLossRow:
 
 
 def subscriber_lines_per_provider(
-    flows: Sequence[FlowRecord], backend_ips: Set[str]
+    flows: Flows, backend_ips: Set[str]
 ) -> Dict[Tuple[str, int], Set[int]]:
     """Return, per (provider, family), the subscriber lines whose flows touch the given addresses."""
-    lines: Dict[Tuple[str, int], Set[int]] = defaultdict(set)
-    for flow in flows:
-        if flow.server_ip in backend_ips:
-            lines[(flow.provider_key, flow.ip_version)].add(flow.subscriber_id)
-    return lines
+    table = FlowTable.ensure(flows)
+    mask = table.mask_server_ips(backend_ips)
+    return table.group_distinct(("provider_key", "ip_version"), "subscriber_id", mask=mask)
 
 
 def tls_only_subscriber_loss(
-    flows: Sequence[FlowRecord],
+    flows: Flows,
     full_result: DiscoveryResult,
     tls_only_result: DiscoveryResult,
     anonymization: AnonymizationMap,
 ) -> List[SubscriberLossRow]:
     """Quantify the loss in visible IoT subscriber lines with TLS-only discovery."""
-    full_lines = subscriber_lines_per_provider(flows, full_result.ips())
-    tls_lines = subscriber_lines_per_provider(flows, tls_only_result.ips())
+    table = FlowTable.ensure(flows)
+    full_lines = subscriber_lines_per_provider(table, full_result.ips())
+    tls_lines = subscriber_lines_per_provider(table, tls_only_result.ips())
     rows: List[SubscriberLossRow] = []
     for provider_key in full_result.providers():
         for ip_version in (4, 6):
@@ -281,15 +316,22 @@ def tls_only_subscriber_loss(
 
 
 def activity_timeseries(
-    flows: Sequence[FlowRecord],
+    flows: Flows,
     anonymization: AnonymizationMap,
     min_lines_per_hour: int = 0,
 ) -> Dict[str, Dict[datetime, int]]:
     """Hourly number of active subscriber lines per (anonymized) provider."""
-    lines: Dict[str, Dict[datetime, Set[int]]] = defaultdict(lambda: defaultdict(set))
-    for flow in flows:
-        label = anonymization.label(flow.provider_key)
-        lines[label][flow.timestamp].add(flow.subscriber_id)
+    table = FlowTable.ensure(flows)
+    grouped = table.group_distinct(("provider_key", "timestamp"), "subscriber_id")
+    lines: Dict[str, Dict[datetime, Set[int]]] = defaultdict(dict)
+    for (provider_key, timestamp), subscribers in grouped.items():
+        per_hour = lines[anonymization.label(provider_key)]
+        existing = per_hour.get(timestamp)
+        if existing is None:
+            # group_distinct returns fresh sets; adopt them instead of copying.
+            per_hour[timestamp] = subscribers
+        else:
+            existing.update(subscribers)
     series: Dict[str, Dict[datetime, int]] = {}
     for label, per_hour in lines.items():
         counted = {timestamp: len(ids) for timestamp, ids in per_hour.items()}
@@ -300,7 +342,7 @@ def activity_timeseries(
 
 
 def volume_timeseries(
-    flows: Sequence[FlowRecord],
+    flows: Flows,
     anonymization: AnonymizationMap,
     sampling_ratio: int = 1,
     direction: str = "down",
@@ -308,11 +350,12 @@ def volume_timeseries(
     """Hourly (estimated) traffic volume per provider, downstream by default."""
     if direction not in ("down", "up"):
         raise ValueError("direction must be 'down' or 'up'")
+    table = FlowTable.ensure(flows)
+    value_column = "bytes_down" if direction == "down" else "bytes_up"
+    grouped = table.group_sum(("provider_key", "timestamp"), value_column)
     series: Dict[str, Dict[datetime, float]] = defaultdict(lambda: defaultdict(float))
-    for flow in flows:
-        label = anonymization.label(flow.provider_key)
-        value = flow.bytes_down if direction == "down" else flow.bytes_up
-        series[label][flow.timestamp] += value * sampling_ratio
+    for (provider_key, timestamp), volume in grouped.items():
+        series[anonymization.label(provider_key)][timestamp] += volume * sampling_ratio
     return {
         label: dict(sorted(per_hour.items()))
         for label, per_hour in sorted(series.items(), key=lambda item: _label_sort_key(item[0]))
@@ -320,11 +363,12 @@ def volume_timeseries(
 
 
 def direction_ratio_timeseries(
-    flows: Sequence[FlowRecord], anonymization: AnonymizationMap
+    flows: Flows, anonymization: AnonymizationMap
 ) -> Dict[str, Dict[datetime, float]]:
     """Hourly downstream/upstream byte ratio per provider (Figure 10)."""
-    down = volume_timeseries(flows, anonymization, direction="down")
-    up = volume_timeseries(flows, anonymization, direction="up")
+    table = FlowTable.ensure(flows)
+    down = volume_timeseries(table, anonymization, direction="down")
+    up = volume_timeseries(table, anonymization, direction="up")
     ratios: Dict[str, Dict[datetime, float]] = {}
     for label, per_hour in down.items():
         ratios[label] = {}
@@ -335,14 +379,16 @@ def direction_ratio_timeseries(
     return ratios
 
 
-def mean_direction_ratio(flows: Sequence[FlowRecord], anonymization: AnonymizationMap) -> Dict[str, float]:
+def mean_direction_ratio(flows: Flows, anonymization: AnonymizationMap) -> Dict[str, float]:
     """Overall downstream/upstream ratio per provider across the whole input."""
+    table = FlowTable.ensure(flows)
+    grouped = table.group_sums(("provider_key",), ("bytes_down", "bytes_up"))
     down: Dict[str, float] = defaultdict(float)
     up: Dict[str, float] = defaultdict(float)
-    for flow in flows:
-        label = anonymization.label(flow.provider_key)
-        down[label] += flow.bytes_down
-        up[label] += flow.bytes_up
+    for provider_key, (down_bytes, up_bytes) in grouped.items():
+        label = anonymization.label(provider_key)
+        down[label] += down_bytes
+        up[label] += up_bytes
     return {
         label: (down[label] / up[label]) if up[label] > 0 else float("inf")
         for label in sorted(down, key=_label_sort_key)
@@ -354,14 +400,13 @@ def mean_direction_ratio(flows: Sequence[FlowRecord], anonymization: Anonymizati
 # ---------------------------------------------------------------------------------
 
 
-def port_mix(
-    flows: Sequence[FlowRecord], anonymization: AnonymizationMap
-) -> Dict[str, Dict[str, float]]:
+def port_mix(flows: Flows, anonymization: AnonymizationMap) -> Dict[str, Dict[str, float]]:
     """Share of each provider's traffic volume per (transport, port)."""
+    table = FlowTable.ensure(flows)
+    grouped = table.group_sums(("provider_key", "transport", "port"), ("bytes_down", "bytes_up"))
     volume: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
-    for flow in flows:
-        label = anonymization.label(flow.provider_key)
-        volume[label][port_label(flow.transport, flow.port)] += flow.total_bytes
+    for (provider_key, transport, port), (down, up) in grouped.items():
+        volume[anonymization.label(provider_key)][port_label(transport, port)] += down + up
     mix: Dict[str, Dict[str, float]] = {}
     for label, per_port in volume.items():
         total = sum(per_port.values())
@@ -374,11 +419,15 @@ def port_mix(
     return dict(sorted(mix.items(), key=lambda item: _label_sort_key(item[0])))
 
 
-def top_ports_by_volume(flows: Sequence[FlowRecord], top_n: int = 7) -> List[str]:
+def top_ports_by_volume(
+    flows: Flows, top_n: int = 7, mask: Optional[Sequence[int]] = None
+) -> List[str]:
     """Return the ``top_n`` port labels by total downstream volume."""
+    table = FlowTable.ensure(flows)
+    grouped = table.group_sum(("transport", "port"), "bytes_down", mask=mask)
     volume: Dict[str, float] = defaultdict(float)
-    for flow in flows:
-        volume[port_label(flow.transport, flow.port)] += flow.bytes_down
+    for (transport, port), down in grouped.items():
+        volume[port_label(transport, port)] += down
     return [label for label, _ in sorted(volume.items(), key=lambda item: -item[1])[:top_n]]
 
 
@@ -388,36 +437,37 @@ def top_ports_by_volume(flows: Sequence[FlowRecord], top_n: int = 7) -> List[str
 
 
 def per_subscriber_daily_volume(
-    flows: Sequence[FlowRecord],
+    flows: Flows,
     day: date,
     sampling_ratio: int = 1,
 ) -> Tuple[EmpiricalDistribution, EmpiricalDistribution]:
     """Figure 12a: daily (downstream, upstream) volume per subscriber line."""
-    down: Dict[int, float] = defaultdict(float)
-    up: Dict[int, float] = defaultdict(float)
-    for flow in flows:
-        if flow.timestamp.date() != day:
-            continue
-        down[flow.subscriber_id] += flow.bytes_down * sampling_ratio
-        up[flow.subscriber_id] += flow.bytes_up * sampling_ratio
-    return EmpiricalDistribution(list(down.values())), EmpiricalDistribution(list(up.values()))
+    table = FlowTable.ensure(flows)
+    grouped = table.group_sums(
+        ("subscriber_id",), ("bytes_down", "bytes_up"), mask=table.mask_day(day)
+    )
+    down = [sums[0] * sampling_ratio for sums in grouped.values()]
+    up = [sums[1] * sampling_ratio for sums in grouped.values()]
+    return EmpiricalDistribution(down), EmpiricalDistribution(up)
 
 
 def per_subscriber_daily_volume_by_provider(
-    flows: Sequence[FlowRecord],
+    flows: Flows,
     day: date,
     anonymization: AnonymizationMap,
     sampling_ratio: int = 1,
     direction: str = "down",
 ) -> Dict[str, EmpiricalDistribution]:
     """Figure 12b: per-provider daily volume per subscriber line."""
+    table = FlowTable.ensure(flows)
+    value_column = "bytes_down" if direction == "down" else "bytes_up"
+    grouped = table.group_sum(
+        ("provider_key", "subscriber_id"), value_column, mask=table.mask_day(day)
+    )
     per_provider: Dict[str, Dict[int, float]] = defaultdict(lambda: defaultdict(float))
-    for flow in flows:
-        if flow.timestamp.date() != day:
-            continue
-        label = anonymization.label(flow.provider_key)
-        value = flow.bytes_down if direction == "down" else flow.bytes_up
-        per_provider[label][flow.subscriber_id] += value * sampling_ratio
+    for (provider_key, subscriber_id), volume in grouped.items():
+        label = anonymization.label(provider_key)
+        per_provider[label][subscriber_id] += volume * sampling_ratio
     return {
         label: EmpiricalDistribution(list(values.values()))
         for label, values in sorted(per_provider.items(), key=lambda item: _label_sort_key(item[0]))
@@ -425,7 +475,7 @@ def per_subscriber_daily_volume_by_provider(
 
 
 def per_subscriber_daily_volume_by_port(
-    flows: Sequence[FlowRecord],
+    flows: Flows,
     day: date,
     sampling_ratio: int = 1,
     top_n: int = 7,
@@ -435,14 +485,18 @@ def per_subscriber_daily_volume_by_port(
     The ``top_n`` ports by downstream volume get their own distribution; all other
     ports are aggregated under ``Other``.
     """
-    day_flows = [flow for flow in flows if flow.timestamp.date() == day]
-    top = set(top_ports_by_volume(day_flows, top_n))
+    table = FlowTable.ensure(flows)
+    day_mask = table.mask_day(day)
+    top = set(top_ports_by_volume(table, top_n, mask=day_mask))
+    grouped = table.group_sum(
+        ("transport", "port", "subscriber_id"), "bytes_down", mask=day_mask
+    )
     per_port: Dict[str, Dict[int, float]] = defaultdict(lambda: defaultdict(float))
-    for flow in day_flows:
-        label = port_label(flow.transport, flow.port)
+    for (transport, port, subscriber_id), volume in grouped.items():
+        label = port_label(transport, port)
         if label not in top:
             label = "Other"
-        per_port[label][flow.subscriber_id] += flow.bytes_down * sampling_ratio
+        per_port[label][subscriber_id] += volume * sampling_ratio
     return {
         label: EmpiricalDistribution(list(values.values()))
         for label, values in per_port.items()
@@ -495,13 +549,14 @@ def _categorize_continents(continents: Set[str]) -> str:
     return REGION_OTHER
 
 
-def region_crossing(flows: Sequence[FlowRecord]) -> RegionCrossingReport:
+def region_crossing(flows: Flows) -> RegionCrossingReport:
     """Compute Figure 13 (lines) and Figure 14 (traffic) statistics."""
-    continents_per_line: Dict[int, Set[str]] = defaultdict(set)
-    traffic_by_continent: Dict[str, float] = defaultdict(float)
-    for flow in flows:
-        continents_per_line[flow.subscriber_id].add(flow.server_continent)
-        traffic_by_continent[flow.server_continent] += flow.total_bytes
+    table = FlowTable.ensure(flows)
+    continents_per_line = table.group_distinct(("subscriber_id",), "server_continent")
+    grouped_traffic = table.group_sums(("server_continent",), ("bytes_down", "bytes_up"))
+    traffic_by_continent = {
+        continent: down + up for continent, (down, up) in grouped_traffic.items()
+    }
     total_lines = len(continents_per_line)
     categories: Dict[str, int] = defaultdict(int)
     for continents in continents_per_line.values():
@@ -536,11 +591,12 @@ def _label_sort_key(label: str) -> Tuple[int, int]:
     return (order.get(prefix, 3), index)
 
 
-def daily_active_lines(flows: Sequence[FlowRecord], ip_version: Optional[int] = None) -> Dict[date, int]:
+def daily_active_lines(flows: Flows, ip_version: Optional[int] = None) -> Dict[date, int]:
     """Number of distinct subscriber lines with IoT activity per day."""
+    table = FlowTable.ensure(flows)
+    mask = table.mask_ip_version(ip_version) if ip_version is not None else None
     per_day: Dict[date, Set[int]] = defaultdict(set)
-    for flow in flows:
-        if ip_version is not None and flow.ip_version != ip_version:
-            continue
-        per_day[flow.timestamp.date()].add(flow.subscriber_id)
+    grouped = table.group_distinct(("timestamp",), "subscriber_id", mask=mask)
+    for timestamp, lines in grouped.items():
+        per_day[timestamp.date()].update(lines)
     return {day: len(lines) for day, lines in sorted(per_day.items())}

@@ -77,11 +77,12 @@ def classify_shared_ips(
     threshold.
     """
     pattern_set = pattern_set or PatternSet.for_providers()
+    engine = pattern_set.engine()
     dedicated = DiscoveryResult(day=result.day)
     shared: List[SharedIpRecord] = []
     for record in result.records():
         names = passive_dns.domains_for_ip(record.ip, since=since, until=until)
-        non_iot = [name for name in names if not pattern_set.matches_any(name)]
+        non_iot = [name for name in names if not engine.matches_any(name)]
         if len(non_iot) > threshold:
             shared.append(
                 SharedIpRecord(

@@ -95,6 +95,17 @@ class PassiveDnsDatabase:
         """Return every stored observation."""
         return list(self._records)
 
+    def iter_names(self) -> Iterable[Tuple[str, List[PassiveDnsRecord]]]:
+        """Iterate ``(owner name, observations)`` pairs, one per distinct name.
+
+        This is the bulk-classification entry point: consumers that attribute
+        names to providers (the discovery layer) classify each distinct owner
+        name exactly once instead of regex-scanning the full record list per
+        pattern.  Names are yielded in insertion order of their first record.
+        """
+        for name, indices in self._by_name.items():
+            yield name, [self._records[index] for index in indices]
+
     # -- DNSDB-style queries ----------------------------------------------------------
 
     def flex_search(
@@ -108,14 +119,18 @@ class PassiveDnsDatabase:
 
         The regex follows DNSDB conventions where names are matched with a trailing
         dot; this implementation accepts patterns written either way by matching
-        against both forms.
+        against both forms.  The regex is evaluated once per *distinct* owner
+        name (names repeat heavily in aggregated passive DNS data); results come
+        back in insertion order, as before.
         """
         pattern = re.compile(name_regex)
+        matched_indices: List[int] = []
+        for name, indices in self._by_name.items():
+            if pattern.search(name) or pattern.search(name + "."):
+                matched_indices.extend(indices)
         results = []
-        for record in self._records:
-            dotted = record.rrname + "."
-            if not (pattern.search(record.rrname) or pattern.search(dotted)):
-                continue
+        for index in sorted(matched_indices):
+            record = self._records[index]
             if rrtype is not None and record.rrtype != rrtype:
                 continue
             if not record.overlaps(since, until):

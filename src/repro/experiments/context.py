@@ -12,8 +12,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.pipeline import DiscoveryPipeline, PipelineResult
-from repro.core.traffic import DEFAULT_SCANNER_THRESHOLD, identify_and_exclude_scanners
+from repro.core.traffic import DEFAULT_SCANNER_THRESHOLD, ScannerExclusion
 from repro.flows.anonymize import AnonymizationMap
+from repro.flows.flowtable import FlowTable
 from repro.flows.netflow import FlowRecord, NetFlowCollector
 from repro.simulation.clock import StudyPeriod
 from repro.simulation.config import ScenarioConfig
@@ -31,6 +32,7 @@ class ExperimentContext:
     anonymization: AnonymizationMap
     _flow_cache: Dict[Tuple[str, bool], List[FlowRecord]] = field(default_factory=dict)
     _scanner_cache: Dict[str, Set[int]] = field(default_factory=dict)
+    _table_cache: Dict[Tuple[str, bool], FlowTable] = field(default_factory=dict)
 
     # -- flows ---------------------------------------------------------------------
 
@@ -53,12 +55,10 @@ class ExperimentContext:
         period = period or self.config.study_period
         key = (f"{period.name}:{threshold}", False)
         if key not in self._flow_cache:
-            flows = self.raw_flows(period)
-            clean, scanners = identify_and_exclude_scanners(
-                flows, self.result.dedicated.ips(), threshold=threshold
-            )
-            self._flow_cache[key] = clean
-            self._scanner_cache[f"{period.name}:{threshold}"] = scanners
+            scanners = self.scanner_lines(period, threshold)
+            self._flow_cache[key] = [
+                flow for flow in self.raw_flows(period) if flow.subscriber_id not in scanners
+            ]
         return self._flow_cache[key]
 
     def scanner_lines(
@@ -66,14 +66,52 @@ class ExperimentContext:
         period: Optional[StudyPeriod] = None,
         threshold: int = DEFAULT_SCANNER_THRESHOLD,
     ) -> Set[int]:
-        """The subscriber lines identified as scanners for a period/threshold."""
+        """The subscriber lines identified as scanners for a period/threshold.
+
+        The scanner fan-out analysis runs on the cached columnar table, so it
+        shares one record->column conversion with every other analysis.
+        """
         period = period or self.config.study_period
-        self.clean_flows(period, threshold)
-        return self._scanner_cache[f"{period.name}:{threshold}"]
+        cache_key = f"{period.name}:{threshold}"
+        if cache_key not in self._scanner_cache:
+            exclusion = ScannerExclusion(self.raw_table(period), self.result.dedicated.ips())
+            self._scanner_cache[cache_key] = exclusion.scanner_lines(threshold)
+        return self._scanner_cache[cache_key]
 
     def outage_flows(self) -> List[FlowRecord]:
         """Clean flows for the outage study period (December 2021)."""
         return self.clean_flows(self.config.outage_period)
+
+    # -- columnar tables ---------------------------------------------------------
+
+    def raw_table(self, period: Optional[StudyPeriod] = None) -> FlowTable:
+        """Columnar view of :meth:`raw_flows`, built once per period."""
+        period = period or self.config.study_period
+        key = (period.name, True)
+        if key not in self._table_cache:
+            self._table_cache[key] = FlowTable.from_records(self.raw_flows(period))
+        return self._table_cache[key]
+
+    def clean_table(
+        self,
+        period: Optional[StudyPeriod] = None,
+        threshold: int = DEFAULT_SCANNER_THRESHOLD,
+    ) -> FlowTable:
+        """Columnar view of :meth:`clean_flows`, built once per period/threshold.
+
+        The scanner-excluded table is derived from the raw table by a bulk
+        subscriber filter, so the expensive record conversion happens once.
+        """
+        period = period or self.config.study_period
+        key = (f"{period.name}:{threshold}", False)
+        if key not in self._table_cache:
+            scanners = self.scanner_lines(period, threshold)
+            self._table_cache[key] = self.raw_table(period).exclude_subscribers(scanners)
+        return self._table_cache[key]
+
+    def outage_table(self) -> FlowTable:
+        """Columnar view of the outage-period clean flows."""
+        return self.clean_table(self.config.outage_period)
 
     # -- convenience ----------------------------------------------------------------
 

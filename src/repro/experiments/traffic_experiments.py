@@ -56,8 +56,10 @@ def fig5_scanner_threshold(
 ) -> Figure5Result:
     """Reproduce Figure 5 on the first study day's flows."""
     first_day = context.config.study_period.start
-    day_flows = [f for f in context.raw_flows() if f.timestamp.date() == first_day]
-    exclusion = traffic.ScannerExclusion(day_flows, context.result.dedicated.ipv4_ips())
+    table = context.raw_table()
+    exclusion = traffic.ScannerExclusion(
+        table, context.result.dedicated.ipv4_ips(), mask=table.mask_day(first_day)
+    )
     return Figure5Result(points=exclusion.sweep(list(thresholds)))
 
 
@@ -103,7 +105,7 @@ class Figure6Result:
 
 def fig6_visibility(context: ExperimentContext) -> Figure6Result:
     """Reproduce Figure 6 on the scanner-excluded study-week flows."""
-    flows = context.clean_flows()
+    flows = context.clean_table()
     dedicated = context.result.dedicated
     rows = traffic.visibility_per_provider(flows, dedicated, context.anonymization)
     return Figure6Result(
@@ -152,7 +154,7 @@ def fig7_tls_only_loss(context: ExperimentContext) -> Figure7Result:
     snapshots = [context.world.censys.snapshot(day) for day in period.days()]
     tls_only = tls_only_discovery(snapshots, context.pipeline.pattern_set)
     rows = traffic.tls_only_subscriber_loss(
-        context.clean_flows(), context.result.dedicated, tls_only, context.anonymization
+        context.clean_table(), context.result.dedicated, tls_only, context.anonymization
     )
     return Figure7Result(rows=rows)
 
@@ -190,7 +192,7 @@ class TimeSeriesResult:
 def fig8_subscriber_activity(context: ExperimentContext, min_lines_per_hour: int = 15) -> TimeSeriesResult:
     """Reproduce Figure 8: hourly active subscriber lines per provider."""
     series = traffic.activity_timeseries(
-        context.clean_flows(), context.anonymization, min_lines_per_hour=min_lines_per_hour
+        context.clean_table(), context.anonymization, min_lines_per_hour=min_lines_per_hour
     )
     return TimeSeriesResult(
         title="Figure 8: active subscriber lines per hour",
@@ -201,7 +203,7 @@ def fig8_subscriber_activity(context: ExperimentContext, min_lines_per_hour: int
 def fig9_traffic_volume(context: ExperimentContext) -> TimeSeriesResult:
     """Reproduce Figure 9: hourly normalized downstream volume per provider."""
     series = traffic.volume_timeseries(
-        context.clean_flows(), context.anonymization, sampling_ratio=context.sampling_ratio
+        context.clean_table(), context.anonymization, sampling_ratio=context.sampling_ratio
     )
     return TimeSeriesResult(title="Figure 9: downstream traffic volume per hour", series=series)
 
@@ -221,7 +223,7 @@ class Figure10Result:
 
 def fig10_direction_ratio(context: ExperimentContext) -> Figure10Result:
     """Reproduce Figure 10: the downstream/upstream ratio per provider."""
-    flows = context.clean_flows()
+    flows = context.clean_table()
     return Figure10Result(
         hourly=traffic.direction_ratio_timeseries(flows, context.anonymization),
         overall=traffic.mean_direction_ratio(flows, context.anonymization),
@@ -257,7 +259,7 @@ class Figure11Result:
 
 def fig11_port_mix(context: ExperimentContext) -> Figure11Result:
     """Reproduce Figure 11 from the scanner-excluded study-week flows."""
-    return Figure11Result(mix=traffic.port_mix(context.clean_flows(), context.anonymization))
+    return Figure11Result(mix=traffic.port_mix(context.clean_table(), context.anonymization))
 
 
 # -- Figure 12: per-subscriber daily volumes ----------------------------------------------------------
@@ -290,7 +292,7 @@ def fig12_per_subscriber_volumes(
 ) -> Figure12Result:
     """Reproduce Figures 12a--12c for one study day."""
     day = day or context.config.study_period.start
-    flows = context.clean_flows()
+    flows = context.clean_table()
     total_down, total_up = traffic.per_subscriber_daily_volume(
         flows, day, sampling_ratio=context.sampling_ratio
     )
@@ -349,6 +351,6 @@ def fig13_fig14_region_crossing(context: ExperimentContext) -> Figure13Result:
     """Reproduce Figures 13 and 14 from the scanner-excluded study-week flows."""
     from repro.core.footprint import continent_distribution
 
-    report = traffic.region_crossing(context.clean_flows())
+    report = traffic.region_crossing(context.clean_table())
     servers = continent_distribution(context.result.footprints)
     return Figure13Result(report=report, servers_per_continent=servers)

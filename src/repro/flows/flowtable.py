@@ -1,0 +1,566 @@
+"""Columnar flow store for the Section 5 traffic analyses.
+
+The traffic analyses scan millions of :class:`~repro.flows.netflow.FlowRecord`
+objects; iterating lists of frozen dataclasses pays an attribute lookup per
+field per row, and every grouped aggregation re-hashes tuple-of-string keys.
+:class:`FlowTable` stores the same data as parallel columns:
+
+* **Dictionary-encoded categoricals** (timestamp, provider, server address,
+  continent, region, transport, subscriber prefix): each column is an
+  ``array('i')`` of small integer codes plus a value pool, so group keys are
+  ints and repeated values are stored once.
+* **Primitive arrays** (:mod:`array`) for the numeric fields (byte counts,
+  packet counts, port, subscriber id, ip version, sampled flag) -- no numpy
+  dependency.
+
+On top of the columns the table offers bulk filters (:meth:`where_day`,
+:meth:`exclude_subscribers`, :meth:`where_provider`, :meth:`where_ip_version`,
+:meth:`restrict_server_ips`) and grouped aggregations (:meth:`group_sums`,
+:meth:`group_distinct`, :meth:`group_distinct_count`) keyed by any column
+combination -- provider, hour, subscriber, port, continent pair.  The
+Section 5 analyses in :mod:`repro.core.traffic` run on these primitives
+instead of repeated linear passes over record lists.
+
+``FlowTable`` iterates and indexes like a sequence of ``FlowRecord`` (records
+are materialized on demand), so it is a drop-in argument anywhere a flow
+sequence is accepted; :meth:`from_records`/:meth:`to_records` convert
+losslessly in both directions.  Filtered tables share the value pools of their
+parent, which keeps slicing cheap.
+"""
+
+from __future__ import annotations
+
+from array import array
+from datetime import date, datetime
+from itertools import compress
+from operator import attrgetter
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.flows.netflow import FlowRecord
+
+#: Dictionary-encoded columns, in FlowRecord field order where applicable.
+CATEGORICAL_COLUMNS = (
+    "timestamp",
+    "subscriber_prefix",
+    "provider_key",
+    "server_ip",
+    "server_continent",
+    "server_region",
+    "transport",
+)
+
+#: Numeric columns and their :mod:`array` typecodes.
+NUMERIC_COLUMNS = (
+    ("subscriber_id", "q"),
+    ("ip_version", "b"),
+    ("port", "i"),
+    ("bytes_down", "d"),
+    ("bytes_up", "d"),
+    ("packets_down", "q"),
+    ("packets_up", "q"),
+    ("sampled", "b"),
+)
+
+_NUMERIC_TYPECODES = dict(NUMERIC_COLUMNS)
+
+#: One C-level fetch of every FlowRecord field, in conversion order.
+_RECORD_FIELDS = attrgetter(
+    "timestamp",
+    "subscriber_prefix",
+    "provider_key",
+    "server_ip",
+    "server_continent",
+    "server_region",
+    "transport",
+    "subscriber_id",
+    "ip_version",
+    "port",
+    "bytes_down",
+    "bytes_up",
+    "packets_down",
+    "packets_up",
+    "sampled",
+)
+
+GroupKey = Union[object, Tuple[object, ...]]
+
+
+class _Pool:
+    """An append-only dictionary-encoded value pool shared between tables."""
+
+    __slots__ = ("values", "code_of")
+
+    def __init__(self) -> None:
+        self.values: List[object] = []
+        self.code_of: Dict[object, int] = {}
+
+    def encode(self, value: object) -> int:
+        code = self.code_of.get(value)
+        if code is None:
+            code = len(self.values)
+            self.code_of[value] = code
+            self.values.append(value)
+        return code
+
+
+class FlowTable:
+    """Columnar, dictionary-encoded storage for flow records."""
+
+    def __init__(self) -> None:
+        self._pools: Dict[str, _Pool] = {name: _Pool() for name in CATEGORICAL_COLUMNS}
+        self._codes: Dict[str, array] = {name: array("i") for name in CATEGORICAL_COLUMNS}
+        self._numeric: Dict[str, array] = {
+            name: array(typecode) for name, typecode in NUMERIC_COLUMNS
+        }
+        self._length = 0
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[FlowRecord]) -> "FlowTable":
+        """Build a table from flow records (one full pass)."""
+        table = cls()
+        table.extend(records)
+        return table
+
+    @classmethod
+    def ensure(cls, flows: Union["FlowTable", Iterable[FlowRecord]]) -> "FlowTable":
+        """Return ``flows`` unchanged when already a table, else convert it."""
+        if isinstance(flows, cls):
+            return flows
+        return cls.from_records(flows)
+
+    def append(self, record: FlowRecord) -> None:
+        """Append one record (intended for freshly built tables)."""
+        self.extend((record,))
+
+    def extend(self, records: Iterable[FlowRecord]) -> None:
+        """Append many records.
+
+        This is the conversion hot path (one call per raw flow corpus), so the
+        dictionary encoding is inlined with pre-bound column methods instead of
+        going through per-field lookups.
+        """
+        encoders = []
+        for name in CATEGORICAL_COLUMNS:
+            pool = self._pools[name]
+            encoders.append((self._codes[name].append, pool.code_of, pool.values))
+        (
+            (ts_append, ts_codes, ts_values),
+            (prefix_append, prefix_codes, prefix_values),
+            (provider_append, provider_codes, provider_values),
+            (ip_append, ip_codes, ip_values),
+            (continent_append, continent_codes, continent_values),
+            (region_append, region_codes, region_values),
+            (transport_append, transport_codes, transport_values),
+        ) = encoders
+        numeric = self._numeric
+        subscriber_append = numeric["subscriber_id"].append
+        version_append = numeric["ip_version"].append
+        port_append = numeric["port"].append
+        down_append = numeric["bytes_down"].append
+        up_append = numeric["bytes_up"].append
+        packets_down_append = numeric["packets_down"].append
+        packets_up_append = numeric["packets_up"].append
+        sampled_append = numeric["sampled"].append
+        fields = _RECORD_FIELDS
+        count = 0
+        for record in records:
+            (
+                timestamp,
+                prefix,
+                provider,
+                server_ip,
+                continent,
+                region,
+                transport,
+                subscriber,
+                version,
+                port,
+                down,
+                up,
+                packets_down,
+                packets_up,
+                sampled,
+            ) = fields(record)
+            code = ts_codes.get(timestamp)
+            if code is None:
+                code = ts_codes[timestamp] = len(ts_values)
+                ts_values.append(timestamp)
+            ts_append(code)
+            code = prefix_codes.get(prefix)
+            if code is None:
+                code = prefix_codes[prefix] = len(prefix_values)
+                prefix_values.append(prefix)
+            prefix_append(code)
+            code = provider_codes.get(provider)
+            if code is None:
+                code = provider_codes[provider] = len(provider_values)
+                provider_values.append(provider)
+            provider_append(code)
+            code = ip_codes.get(server_ip)
+            if code is None:
+                code = ip_codes[server_ip] = len(ip_values)
+                ip_values.append(server_ip)
+            ip_append(code)
+            code = continent_codes.get(continent)
+            if code is None:
+                code = continent_codes[continent] = len(continent_values)
+                continent_values.append(continent)
+            continent_append(code)
+            code = region_codes.get(region)
+            if code is None:
+                code = region_codes[region] = len(region_values)
+                region_values.append(region)
+            region_append(code)
+            code = transport_codes.get(transport)
+            if code is None:
+                code = transport_codes[transport] = len(transport_values)
+                transport_values.append(transport)
+            transport_append(code)
+            subscriber_append(subscriber)
+            version_append(version)
+            port_append(port)
+            down_append(down)
+            up_append(up)
+            packets_down_append(packets_down)
+            packets_up_append(packets_up)
+            sampled_append(1 if sampled else 0)
+            count += 1
+        self._length += count
+
+    # -- sequence protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def record_at(self, index: int) -> FlowRecord:
+        """Materialize the record at one row index."""
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(index)
+        pools = self._pools
+        codes = self._codes
+        numeric = self._numeric
+        return FlowRecord(
+            timestamp=pools["timestamp"].values[codes["timestamp"][index]],
+            subscriber_id=numeric["subscriber_id"][index],
+            subscriber_prefix=pools["subscriber_prefix"].values[codes["subscriber_prefix"][index]],
+            ip_version=numeric["ip_version"][index],
+            provider_key=pools["provider_key"].values[codes["provider_key"][index]],
+            server_ip=pools["server_ip"].values[codes["server_ip"][index]],
+            server_continent=pools["server_continent"].values[codes["server_continent"][index]],
+            server_region=pools["server_region"].values[codes["server_region"][index]],
+            transport=pools["transport"].values[codes["transport"][index]],
+            port=numeric["port"][index],
+            bytes_down=numeric["bytes_down"][index],
+            bytes_up=numeric["bytes_up"][index],
+            packets_down=numeric["packets_down"][index],
+            packets_up=numeric["packets_up"][index],
+            sampled=bool(numeric["sampled"][index]),
+        )
+
+    def __getitem__(self, index: int) -> FlowRecord:
+        return self.record_at(index)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        for index in range(self._length):
+            yield self.record_at(index)
+
+    def to_records(self) -> List[FlowRecord]:
+        """Materialize every row as a :class:`FlowRecord` (lossless)."""
+        return [self.record_at(index) for index in range(self._length)]
+
+    # -- column access -----------------------------------------------------------
+
+    def is_categorical(self, name: str) -> bool:
+        """True for dictionary-encoded columns."""
+        return name in self._codes
+
+    def codes(self, name: str) -> array:
+        """The integer code array of a categorical column."""
+        return self._codes[name]
+
+    def pool(self, name: str) -> List[object]:
+        """The value pool of a categorical column (indexed by code)."""
+        return self._pools[name].values
+
+    def numeric(self, name: str) -> array:
+        """The primitive array of a numeric column."""
+        return self._numeric[name]
+
+    def column(self, name: str) -> List[object]:
+        """The fully decoded values of any column (one list per call)."""
+        if name in self._codes:
+            values = self._pools[name].values
+            return [values[code] for code in self._codes[name]]
+        if name == "sampled":
+            return [bool(flag) for flag in self._numeric[name]]
+        return list(self._numeric[name])
+
+    def _key_column(self, name: str) -> Tuple[Sequence, Optional[List[object]]]:
+        """Return (per-row key codes, decode pool or None) for a column."""
+        if name in self._codes:
+            return self._codes[name], self._pools[name].values
+        return self._numeric[name], None
+
+    # -- bulk filters ------------------------------------------------------------
+
+    def select(self, indices: Sequence[int]) -> "FlowTable":
+        """Return a new table with the given rows, sharing the value pools."""
+        table = FlowTable()
+        table._pools = self._pools
+        for name in CATEGORICAL_COLUMNS:
+            source = self._codes[name]
+            table._codes[name] = array("i", map(source.__getitem__, indices))
+        for name, typecode in NUMERIC_COLUMNS:
+            source = self._numeric[name]
+            table._numeric[name] = array(typecode, map(source.__getitem__, indices))
+        table._length = len(indices)
+        return table
+
+    def select_mask(self, mask: Sequence[int]) -> "FlowTable":
+        """Return a new table with the rows whose mask entry is truthy.
+
+        The per-row copy runs entirely through :func:`itertools.compress`, so
+        bulk filters cost one C-level pass per column.
+        """
+        table = FlowTable()
+        table._pools = self._pools
+        for name in CATEGORICAL_COLUMNS:
+            table._codes[name] = array("i", compress(self._codes[name], mask))
+        for name, typecode in NUMERIC_COLUMNS:
+            table._numeric[name] = array(typecode, compress(self._numeric[name], mask))
+        table._length = len(table._codes["timestamp"])
+        return table
+
+    def _code_mask(self, name: str, predicate: Callable[[object], bool]) -> bytearray:
+        """Per-code boolean mask of a categorical column's pool."""
+        values = self._pools[name].values
+        mask = bytearray(len(values))
+        for code, value in enumerate(values):
+            if predicate(value):
+                mask[code] = 1
+        return mask
+
+    def mask_code(self, name: str, predicate: Callable[[object], bool]) -> bytearray:
+        """Row mask over a categorical column; the predicate runs once per
+        *distinct* value, the per-row expansion is a C-level map."""
+        code_mask = self._code_mask(name, predicate)
+        return bytearray(map(code_mask.__getitem__, self._codes[name]))
+
+    def mask_day(self, day: date) -> bytearray:
+        """Row mask selecting one calendar day."""
+        return self.mask_code("timestamp", lambda ts: ts.date() == day)
+
+    def mask_server_ips(self, ips: Iterable[str]) -> bytearray:
+        """Row mask selecting flows whose server address is in the given set."""
+        allowed = set(ips)
+        return self.mask_code("server_ip", lambda ip: ip in allowed)
+
+    def mask_ip_version(self, ip_version: int) -> bytearray:
+        """Row mask selecting one address family."""
+        column = self._numeric["ip_version"]
+        return bytearray(1 if version == ip_version else 0 for version in column)
+
+    def where_code(self, name: str, predicate: Callable[[object], bool]) -> "FlowTable":
+        """Rows whose categorical column value satisfies a predicate.
+
+        The predicate runs once per *distinct* value, not once per row.
+        Prefer passing a mask (:meth:`mask_code`) straight to the grouped
+        aggregations when the filtered table is used only once -- that skips
+        the 15-column row copy entirely.
+        """
+        return self.select_mask(self.mask_code(name, predicate))
+
+    def where_day(self, day: date) -> "FlowTable":
+        """Rows whose timestamp falls on the given calendar day."""
+        return self.where_code("timestamp", lambda ts: ts.date() == day)
+
+    def where_provider(self, provider_key: str) -> "FlowTable":
+        """Rows of one provider."""
+        return self.where_code("provider_key", lambda key: key == provider_key)
+
+    def restrict_server_ips(self, ips: Iterable[str]) -> "FlowTable":
+        """Rows whose server address is in the given set."""
+        allowed = set(ips)
+        return self.where_code("server_ip", lambda ip: ip in allowed)
+
+    def where_ip_version(self, ip_version: int) -> "FlowTable":
+        """Rows of one address family."""
+        return self.select_mask(self.mask_ip_version(ip_version))
+
+    def exclude_subscribers(self, subscriber_ids: Iterable[int]) -> "FlowTable":
+        """Drop all rows of the given subscriber lines."""
+        excluded = set(subscriber_ids)
+        if not excluded:
+            return self
+        column = self._numeric["subscriber_id"]
+        return self.select_mask(bytearray(0 if line in excluded else 1 for line in column))
+
+    # -- grouped aggregation -----------------------------------------------------
+
+    def _group_codes(self, by: Sequence[str]) -> Tuple[Iterable, Callable[[object], GroupKey]]:
+        """Per-row composite key iterator plus a decoder back to values.
+
+        All-categorical key combinations are packed into single integers
+        (mixed-radix over the pool sizes): int keys hash far faster than
+        tuples of strings/datetimes, which is where grouped aggregations
+        spend their time.
+        """
+        if len(by) == 1:
+            keys, pool = self._key_column(by[0])
+            if pool is None:
+                return keys, lambda key: key
+            return keys, lambda key: pool[key]
+        if all(name in self._codes for name in by):
+            code_arrays = [self._codes[name] for name in by]
+            pools = [self._pools[name].values for name in by]
+            sizes = [len(pool) for pool in pools]
+            if len(by) == 2:
+                first, second = code_arrays
+                radix = sizes[1]
+                first_pool, second_pool = pools
+                keys = [a * radix + b for a, b in zip(first, second)]
+
+                def decode_pair(key: int) -> Tuple[object, object]:
+                    return (first_pool[key // radix], second_pool[key % radix])
+
+                return keys, decode_pair
+
+            packed: List[int] = []
+            for row in zip(*code_arrays):
+                key = 0
+                for code, size in zip(row, sizes):
+                    key = key * size + code
+                packed.append(key)
+
+            def decode_packed(key: int) -> Tuple[object, ...]:
+                parts: List[object] = []
+                for size, pool in zip(reversed(sizes), reversed(pools)):
+                    key, code = divmod(key, size)
+                    parts.append(pool[code])
+                return tuple(reversed(parts))
+
+            return packed, decode_packed
+        columns = [self._key_column(name) for name in by]
+        rows = zip(*(keys for keys, _ in columns))
+        pools = [pool for _, pool in columns]
+
+        def decode(key: Tuple[int, ...]) -> Tuple[object, ...]:
+            return tuple(
+                part if pool is None else pool[part] for part, pool in zip(key, pools)
+            )
+
+        return rows, decode
+
+    def group_sums(
+        self,
+        by: Sequence[str],
+        values: Sequence[str],
+        mask: Optional[Sequence[int]] = None,
+    ) -> Dict[GroupKey, List[float]]:
+        """Sum one or more numeric columns per group key.
+
+        ``by`` names any combination of columns; single-column keys decode to
+        the bare value, multi-column keys to a tuple.  ``mask`` restricts the
+        aggregation to the rows whose mask entry is truthy without copying
+        any column.  Returns ``{key: [sum per value column]}``.
+        """
+        keys, decode = self._group_codes(by)
+        value_arrays: List[Iterable] = [self._numeric[name] for name in values]
+        if mask is not None:
+            keys = compress(keys, mask)
+            value_arrays = [compress(column, mask) for column in value_arrays]
+        sums: Dict[object, List[float]] = {}
+        if len(value_arrays) == 1:
+            column = value_arrays[0]
+            for key, value in zip(keys, column):
+                bucket = sums.get(key)
+                if bucket is None:
+                    sums[key] = [value]
+                else:
+                    bucket[0] += value
+        elif len(value_arrays) == 2:
+            first, second = value_arrays
+            for key, value_a, value_b in zip(keys, first, second):
+                bucket = sums.get(key)
+                if bucket is None:
+                    sums[key] = [value_a, value_b]
+                else:
+                    bucket[0] += value_a
+                    bucket[1] += value_b
+        else:
+            for key, row in zip(keys, zip(*value_arrays)):
+                bucket = sums.get(key)
+                if bucket is None:
+                    sums[key] = list(row)
+                else:
+                    for position, value in enumerate(row):
+                        bucket[position] += value
+        return {decode(key): bucket for key, bucket in sums.items()}
+
+    def group_sum(
+        self, by: Sequence[str], value: str, mask: Optional[Sequence[int]] = None
+    ) -> Dict[GroupKey, float]:
+        """Sum one numeric column per group key."""
+        return {key: sums[0] for key, sums in self.group_sums(by, (value,), mask=mask).items()}
+
+    def _grouped_code_sets(
+        self, by: Sequence[str], of: str, mask: Optional[Sequence[int]]
+    ) -> Tuple[Dict[object, Set], Callable[[object], GroupKey], Optional[List[object]]]:
+        keys, decode = self._group_codes(by)
+        of_keys, of_pool = self._key_column(of)
+        if mask is not None:
+            keys = compress(keys, mask)
+            of_keys = compress(of_keys, mask)
+        groups: Dict[object, Set] = {}
+        for key, member in zip(keys, of_keys):
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = {member}
+            else:
+                bucket.add(member)
+        return groups, decode, of_pool
+
+    def group_distinct(
+        self, by: Sequence[str], of: str, mask: Optional[Sequence[int]] = None
+    ) -> Dict[GroupKey, Set[object]]:
+        """Distinct values of one column per group key (mask-restrictable)."""
+        groups, decode, of_pool = self._grouped_code_sets(by, of, mask)
+        if of_pool is None:
+            return {decode(key): bucket for key, bucket in groups.items()}
+        return {
+            decode(key): {of_pool[member] for member in bucket}
+            for key, bucket in groups.items()
+        }
+
+    def group_distinct_count(
+        self, by: Sequence[str], of: str, mask: Optional[Sequence[int]] = None
+    ) -> Dict[GroupKey, int]:
+        """Number of distinct values of one column per group key."""
+        groups, decode, _ = self._grouped_code_sets(by, of, mask)
+        return {decode(key): len(bucket) for key, bucket in groups.items()}
+
+    def distinct(self, name: str) -> Set[object]:
+        """Distinct values of one column across the whole table."""
+        if name in self._codes:
+            pool = self._pools[name].values
+            return {pool[code] for code in set(self._codes[name])}
+        return set(self._numeric[name])
+
+    def total(self, value: str) -> float:
+        """Sum of one numeric column over all rows."""
+        return sum(self._numeric[value])

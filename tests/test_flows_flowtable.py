@@ -1,0 +1,239 @@
+"""Round-trip and aggregation-parity tests for the columnar FlowTable."""
+
+import random
+from dataclasses import replace
+from datetime import date, datetime
+
+import pytest
+
+from repro.core import traffic
+from repro.flows.anonymize import AnonymizationMap
+from repro.flows.flowtable import FlowTable
+from repro.flows.netflow import make_flow
+
+BASE_DAY = date(2022, 3, 1)
+ANON = AnonymizationMap.build()
+
+
+def generate_records(count=400, seed=13):
+    """A deterministic mixed corpus of flow records."""
+    rng = random.Random(seed)
+    providers = ("amazon", "google", "microsoft", "bosch")
+    continents = ("EU", "NA", "AS")
+    records = []
+    for i in range(count):
+        provider = providers[rng.randrange(len(providers))]
+        ip_version = 6 if rng.random() < 0.3 else 4
+        server = (
+            f"fd00::{rng.randrange(1, 40):x}" if ip_version == 6 else f"10.0.{rng.randrange(4)}.{rng.randrange(1, 40)}"
+        )
+        records.append(
+            make_flow(
+                timestamp=datetime(2022, 3, 1 + rng.randrange(3), rng.randrange(24)),
+                subscriber_id=rng.randrange(60),
+                subscriber_prefix=f"prefix-{rng.randrange(8)}",
+                ip_version=ip_version,
+                provider_key=provider,
+                server_ip=server,
+                server_continent=continents[rng.randrange(len(continents))],
+                server_region="eu-west-1",
+                transport="tcp" if rng.random() < 0.8 else "udp",
+                port=rng.choice((443, 8883, 5683, 61616)),
+                bytes_down=round(rng.uniform(100, 50000), 2),
+                bytes_up=round(rng.uniform(10, 5000), 2),
+            )
+        )
+    return records
+
+
+@pytest.fixture(scope="module")
+def records():
+    return generate_records()
+
+
+@pytest.fixture(scope="module")
+def table(records):
+    return FlowTable.from_records(records)
+
+
+class TestRoundTrip:
+    def test_to_records_is_lossless(self, records, table):
+        assert len(table) == len(records)
+        assert table.to_records() == records
+
+    def test_sequence_protocol(self, records, table):
+        assert table[0] == records[0]
+        assert table[-1] == records[-1]
+        assert list(table)[:10] == records[:10]
+        with pytest.raises(IndexError):
+            table.record_at(len(records))
+
+    def test_ensure_is_idempotent(self, records, table):
+        assert FlowTable.ensure(table) is table
+        rebuilt = FlowTable.ensure(records)
+        assert rebuilt.to_records() == records
+
+    def test_sampled_flag_round_trips(self):
+        flow = generate_records(1)[0]
+        sampled = replace(flow, sampled=True)
+        rebuilt = FlowTable.from_records([sampled]).to_records()[0]
+        assert rebuilt.sampled is True
+        assert rebuilt == sampled
+
+    def test_column_decoding(self, records, table):
+        assert table.column("provider_key") == [r.provider_key for r in records]
+        assert table.column("bytes_down") == [r.bytes_down for r in records]
+        assert table.column("sampled") == [r.sampled for r in records]
+
+
+class TestFilters:
+    def test_where_day(self, records, table):
+        expected = [r for r in records if r.timestamp.date() == BASE_DAY]
+        assert table.where_day(BASE_DAY).to_records() == expected
+
+    def test_where_provider_and_ip_version(self, records, table):
+        expected = [r for r in records if r.provider_key == "amazon"]
+        assert table.where_provider("amazon").to_records() == expected
+        expected6 = [r for r in records if r.ip_version == 6]
+        assert table.where_ip_version(6).to_records() == expected6
+
+    def test_exclude_subscribers(self, records, table):
+        excluded = {1, 2, 3}
+        expected = [r for r in records if r.subscriber_id not in excluded]
+        assert table.exclude_subscribers(excluded).to_records() == expected
+        assert table.exclude_subscribers(set()) is table
+
+    def test_restrict_server_ips(self, records, table):
+        allowed = {records[0].server_ip, records[1].server_ip}
+        expected = [r for r in records if r.server_ip in allowed]
+        assert table.restrict_server_ips(allowed).to_records() == expected
+
+    def test_masks_match_filters(self, records, table):
+        day_mask = table.mask_day(BASE_DAY)
+        assert list(day_mask) == [1 if r.timestamp.date() == BASE_DAY else 0 for r in records]
+        v6_mask = table.mask_ip_version(6)
+        assert list(v6_mask) == [1 if r.ip_version == 6 else 0 for r in records]
+        allowed = {records[0].server_ip}
+        ip_mask = table.mask_server_ips(allowed)
+        assert list(ip_mask) == [1 if r.server_ip in allowed else 0 for r in records]
+
+    def test_masked_group_sum(self, records, table):
+        mask = table.mask_day(BASE_DAY)
+        naive = {}
+        for r in records:
+            if r.timestamp.date() != BASE_DAY:
+                continue
+            naive[r.subscriber_id] = naive.get(r.subscriber_id, 0.0) + r.bytes_down
+        grouped = table.group_sum(("subscriber_id",), "bytes_down", mask=mask)
+        assert set(grouped) == set(naive)
+        for key, value in naive.items():
+            assert grouped[key] == pytest.approx(value)
+
+    def test_masked_group_distinct(self, records, table):
+        mask = table.mask_ip_version(4)
+        naive = {}
+        for r in records:
+            if r.ip_version != 4:
+                continue
+            naive.setdefault(r.provider_key, set()).add(r.server_ip)
+        assert table.group_distinct(("provider_key",), "server_ip", mask=mask) == naive
+
+    def test_filters_chain(self, records, table):
+        expected = [
+            r
+            for r in records
+            if r.timestamp.date() == BASE_DAY and r.provider_key == "google"
+        ]
+        assert table.where_day(BASE_DAY).where_provider("google").to_records() == expected
+
+
+class TestGroupedAggregation:
+    def test_group_sum_by_provider(self, records, table):
+        naive = {}
+        for r in records:
+            naive[r.provider_key] = naive.get(r.provider_key, 0.0) + r.bytes_down
+        grouped = table.group_sum(("provider_key",), "bytes_down")
+        assert set(grouped) == set(naive)
+        for key, value in naive.items():
+            assert grouped[key] == pytest.approx(value)
+
+    def test_group_sums_by_provider_hour(self, records, table):
+        naive = {}
+        for r in records:
+            bucket = naive.setdefault((r.provider_key, r.timestamp), [0.0, 0.0])
+            bucket[0] += r.bytes_down
+            bucket[1] += r.bytes_up
+        grouped = table.group_sums(("provider_key", "timestamp"), ("bytes_down", "bytes_up"))
+        assert set(grouped) == set(naive)
+        for key, (down, up) in naive.items():
+            assert grouped[key][0] == pytest.approx(down)
+            assert grouped[key][1] == pytest.approx(up)
+
+    def test_group_sum_by_subscriber_and_port(self, records, table):
+        naive = {}
+        for r in records:
+            key = (r.subscriber_id, r.port)
+            naive[key] = naive.get(key, 0.0) + r.bytes_up
+        grouped = table.group_sum(("subscriber_id", "port"), "bytes_up")
+        assert set(grouped) == set(naive)
+
+    def test_group_distinct_continent_pairs(self, records, table):
+        naive = {}
+        for r in records:
+            naive.setdefault(r.subscriber_id, set()).add(r.server_continent)
+        assert table.group_distinct(("subscriber_id",), "server_continent") == naive
+
+    def test_group_distinct_count(self, records, table):
+        naive = {}
+        for r in records:
+            naive.setdefault((r.provider_key, r.ip_version), set()).add(r.subscriber_id)
+        counts = table.group_distinct_count(("provider_key", "ip_version"), "subscriber_id")
+        assert counts == {key: len(values) for key, values in naive.items()}
+
+    def test_distinct_and_total(self, records, table):
+        assert table.distinct("server_ip") == {r.server_ip for r in records}
+        assert table.distinct("subscriber_id") == {r.subscriber_id for r in records}
+        assert table.total("bytes_down") == pytest.approx(sum(r.bytes_down for r in records))
+
+
+class TestTrafficAnalysisParity:
+    """The Section 5 analyses must not care whether they get a list or a table."""
+
+    def test_volume_timeseries(self, records, table):
+        assert traffic.volume_timeseries(records, ANON) == traffic.volume_timeseries(table, ANON)
+
+    def test_activity_timeseries(self, records, table):
+        assert traffic.activity_timeseries(records, ANON) == traffic.activity_timeseries(
+            table, ANON
+        )
+
+    def test_port_mix(self, records, table):
+        assert traffic.port_mix(records, ANON) == traffic.port_mix(table, ANON)
+
+    def test_region_crossing(self, records, table):
+        from_list = traffic.region_crossing(records)
+        from_table = traffic.region_crossing(table)
+        assert from_list.line_categories == from_table.line_categories
+        assert from_list.traffic_by_continent == from_table.traffic_by_continent
+        assert from_list.lines_total == from_table.lines_total
+
+    def test_daily_active_lines(self, records, table):
+        assert traffic.daily_active_lines(records) == traffic.daily_active_lines(table)
+        assert traffic.daily_active_lines(records, 6) == traffic.daily_active_lines(table, 6)
+
+    def test_scanner_exclusion(self, records, table):
+        backend = {r.server_ip for r in records if r.ip_version == 4}
+        from_list = traffic.ScannerExclusion(records, backend)
+        from_table = traffic.ScannerExclusion(table, backend)
+        assert from_list.contacts_per_line() == from_table.contacts_per_line()
+        assert from_list.scanner_lines(3) == from_table.scanner_lines(3)
+        clean_table, scanners = traffic.identify_and_exclude_scanners(table, backend, 3)
+        clean_list, _ = traffic.identify_and_exclude_scanners(records, backend, 3)
+        assert isinstance(clean_table, FlowTable)
+        assert clean_table.to_records() == clean_list
+
+    def test_per_subscriber_daily_volume(self, records, table):
+        down_list, up_list = traffic.per_subscriber_daily_volume(records, BASE_DAY, 2)
+        down_table, up_table = traffic.per_subscriber_daily_volume(table, BASE_DAY, 2)
+        assert down_list.values == pytest.approx(down_table.values)
+        assert up_list.values == pytest.approx(up_table.values)
