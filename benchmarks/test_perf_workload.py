@@ -1,0 +1,80 @@
+"""Benchmark P-W1: workload generation, record path vs. columnar path.
+
+Times the seed-equivalent record-by-record generator (one ``FlowRecord`` per
+flow, candidate servers re-hashed every device-hour) against
+``generate_period_table`` (per-device invariants resolved once, hourly batches
+appended straight into ``FlowTable`` columns) on a multi-day slice of the
+default-scale scenario, plus the per-record vs. column-wise NetFlow sampling
+export, and records the numbers in ``BENCH_workload.json`` at the repository
+root so future PRs can track the perf trajectory.  Both comparisons also
+assert bit-identical output, so the benchmark doubles as a full-scale parity
+check.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import date
+from pathlib import Path
+
+from conftest import emit
+
+from repro.flows.netflow import NetFlowCollector
+from repro.simulation.clock import StudyPeriod
+from repro.simulation.rng import RngRegistry
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_workload.json"
+
+#: A three-day slice keeps the record path's share of the session affordable.
+BENCH_PERIOD = StudyPeriod(date(2022, 2, 28), date(2022, 3, 3), name="bench-workload")
+
+SAMPLING_RATIO = 10
+
+
+def test_perf_workload_generation(context):
+    world = context.world
+
+    start = time.perf_counter()
+    records = world.workload_generator().generate_period(BENCH_PERIOD)
+    record_seconds = time.perf_counter() - start
+
+    columnar_seconds = float("inf")
+    table = None
+    for _ in range(3):
+        generator = world.workload_generator()
+        start = time.perf_counter()
+        table = generator.generate_period_table(BENCH_PERIOD)
+        columnar_seconds = min(columnar_seconds, time.perf_counter() - start)
+
+    # Full-scale parity: the columnar path emits bit-identical flows.
+    assert table.to_records() == records
+
+    collector = NetFlowCollector(sampling_ratio=SAMPLING_RATIO)
+    start = time.perf_counter()
+    exported_records = collector.export(records, RngRegistry(99))
+    export_record_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    exported_table = collector.export_table(table, RngRegistry(99))
+    export_table_seconds = time.perf_counter() - start
+    assert exported_table.to_records() == exported_records
+
+    speedup = record_seconds / columnar_seconds
+    payload = {
+        "benchmark": "workload-columnar-generation",
+        "flow_count": len(records),
+        "days": BENCH_PERIOD.n_days,
+        "record_seconds": round(record_seconds, 4),
+        "columnar_seconds": round(columnar_seconds, 4),
+        "flows_per_sec": round(len(records) / columnar_seconds),
+        "speedup": round(speedup, 2),
+        "sampling_ratio": SAMPLING_RATIO,
+        "export_record_seconds": round(export_record_seconds, 4),
+        "export_table_seconds": round(export_table_seconds, 4),
+        "export_speedup": round(export_record_seconds / export_table_seconds, 2),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    emit("Benchmark: columnar workload generation", json.dumps(payload, indent=2))
+
+    # The acceptance bar for this optimization: >= 3x faster period generation.
+    assert speedup >= 3.0

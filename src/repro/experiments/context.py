@@ -30,20 +30,23 @@ class ExperimentContext:
     pipeline: DiscoveryPipeline
     result: PipelineResult
     anonymization: AnonymizationMap
-    _flow_cache: Dict[Tuple[str, bool], List[FlowRecord]] = field(default_factory=dict)
-    _scanner_cache: Dict[str, Set[int]] = field(default_factory=dict)
-    _table_cache: Dict[Tuple[str, bool], FlowTable] = field(default_factory=dict)
+    _flow_cache: Dict[Tuple, List[FlowRecord]] = field(default_factory=dict)
+    _scanner_cache: Dict[Tuple[StudyPeriod, int], Set[int]] = field(default_factory=dict)
+    _table_cache: Dict[Tuple, FlowTable] = field(default_factory=dict)
 
     # -- flows ---------------------------------------------------------------------
 
     def raw_flows(self, period: Optional[StudyPeriod] = None) -> List[FlowRecord]:
-        """Sampled NetFlow export for a period, scanners included."""
+        """Sampled NetFlow export for a period, scanners included.
+
+        Derived from :meth:`raw_table` — the columnar path is the generation
+        source of truth; the record list is materialized once for the
+        record-based call sites.
+        """
         period = period or self.config.study_period
-        key = (period.name, True)
+        key = (period, True)
         if key not in self._flow_cache:
-            generated = self.world.flows(period)
-            collector = NetFlowCollector(self.config.sampling_ratio)
-            self._flow_cache[key] = collector.export(generated, self.world.rng.spawn("netflow"))
+            self._flow_cache[key] = self.raw_table(period).to_records()
         return self._flow_cache[key]
 
     def clean_flows(
@@ -53,12 +56,9 @@ class ExperimentContext:
     ) -> List[FlowRecord]:
         """Flows with scanner subscriber lines removed (the Section 5 baseline)."""
         period = period or self.config.study_period
-        key = (f"{period.name}:{threshold}", False)
+        key = (period, threshold, False)
         if key not in self._flow_cache:
-            scanners = self.scanner_lines(period, threshold)
-            self._flow_cache[key] = [
-                flow for flow in self.raw_flows(period) if flow.subscriber_id not in scanners
-            ]
+            self._flow_cache[key] = self.clean_table(period, threshold).to_records()
         return self._flow_cache[key]
 
     def scanner_lines(
@@ -72,7 +72,7 @@ class ExperimentContext:
         shares one record->column conversion with every other analysis.
         """
         period = period or self.config.study_period
-        cache_key = f"{period.name}:{threshold}"
+        cache_key = (period, threshold)
         if cache_key not in self._scanner_cache:
             exclusion = ScannerExclusion(self.raw_table(period), self.result.dedicated.ips())
             self._scanner_cache[cache_key] = exclusion.scanner_lines(threshold)
@@ -85,11 +85,19 @@ class ExperimentContext:
     # -- columnar tables ---------------------------------------------------------
 
     def raw_table(self, period: Optional[StudyPeriod] = None) -> FlowTable:
-        """Columnar view of :meth:`raw_flows`, built once per period."""
+        """Sampled NetFlow export for a period as a columnar table.
+
+        Flows are generated straight into ``FlowTable`` columns and sampled
+        column-wise; no intermediate record list exists on this path.
+        """
         period = period or self.config.study_period
-        key = (period.name, True)
+        key = (period, True)
         if key not in self._table_cache:
-            self._table_cache[key] = FlowTable.from_records(self.raw_flows(period))
+            generated = self.world.flows_table(period)
+            collector = NetFlowCollector(self.config.sampling_ratio)
+            self._table_cache[key] = collector.export_table(
+                generated, self.world.rng.spawn("netflow")
+            )
         return self._table_cache[key]
 
     def clean_table(
@@ -103,7 +111,7 @@ class ExperimentContext:
         subscriber filter, so the expensive record conversion happens once.
         """
         period = period or self.config.study_period
-        key = (f"{period.name}:{threshold}", False)
+        key = (period, threshold, False)
         if key not in self._table_cache:
             scanners = self.scanner_lines(period, threshold)
             self._table_cache[key] = self.raw_table(period).exclude_subscribers(scanners)
@@ -121,20 +129,18 @@ class ExperimentContext:
         return self.config.sampling_ratio
 
 
-_CONTEXT_CACHE: Dict[Tuple, ExperimentContext] = {}
+_CONTEXT_CACHE: Dict[ScenarioConfig, ExperimentContext] = {}
 
 
 def build_context(config: Optional[ScenarioConfig] = None, use_cache: bool = True) -> ExperimentContext:
-    """Build (or fetch from cache) the experiment context for a configuration."""
+    """Build (or fetch from cache) the experiment context for a configuration.
+
+    The cache key is the full (frozen, hashable) :class:`ScenarioConfig`, so
+    scenarios differing in *any* field — outage period, workload parameters,
+    scanner settings — get distinct contexts instead of silently aliasing.
+    """
     config = config or ScenarioConfig()
-    cache_key = (
-        config.seed,
-        config.scale,
-        config.n_subscriber_lines,
-        config.sampling_ratio,
-        config.study_period.start,
-        config.study_period.end,
-    )
+    cache_key = config
     if use_cache and cache_key in _CONTEXT_CACHE:
         return _CONTEXT_CACHE[cache_key]
     world = build_world(config)

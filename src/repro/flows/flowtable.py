@@ -31,7 +31,7 @@ parent, which keeps slicing cheap.
 from __future__ import annotations
 
 from array import array
-from datetime import date, datetime
+from datetime import date
 from itertools import compress
 from operator import attrgetter
 from typing import (
@@ -40,6 +40,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
@@ -144,6 +145,69 @@ class FlowTable:
     def append(self, record: FlowRecord) -> None:
         """Append one record (intended for freshly built tables)."""
         self.extend((record,))
+
+    def encode_value(self, name: str, value: object) -> int:
+        """Intern a value in a categorical column's pool and return its code.
+
+        The columnar generation path encodes every distinct value once up
+        front (per device, per server choice) and then appends plain integer
+        codes, so the per-row work is free of dictionary probes.
+        """
+        return self._pools[name].encode(value)
+
+    def append_columns(
+        self,
+        count: int,
+        codes: Mapping[str, Iterable[int]],
+        numeric: Mapping[str, Iterable],
+    ) -> None:
+        """Bulk-append ``count`` pre-encoded rows column-wise.
+
+        ``codes`` maps every categorical column to an iterable of pool codes
+        (obtained from :meth:`encode_value`); ``numeric`` maps every numeric
+        column to an iterable of values.  Each column costs one C-level
+        ``array.extend``; lengths are validated against ``count`` so a short
+        or long iterable cannot silently skew the table.  The append is
+        atomic: on any error the already-extended columns are truncated back,
+        so a caught failure leaves the table unchanged.
+        """
+        target = self._length + count
+        try:
+            for name in CATEGORICAL_COLUMNS:
+                column = self._codes[name]
+                column.extend(codes[name])
+                if len(column) != target:
+                    raise ValueError(
+                        f"column {name!r}: got {len(column) - self._length} rows, expected {count}"
+                    )
+            for name, _typecode in NUMERIC_COLUMNS:
+                column = self._numeric[name]
+                column.extend(numeric[name])
+                if len(column) != target:
+                    raise ValueError(
+                        f"column {name!r}: got {len(column) - self._length} rows, expected {count}"
+                    )
+        except Exception:
+            for name in CATEGORICAL_COLUMNS:
+                del self._codes[name][self._length :]
+            for name, _typecode in NUMERIC_COLUMNS:
+                del self._numeric[name][self._length :]
+            raise
+        self._length = target
+
+    def assign_numeric(self, name: str, values: Iterable) -> None:
+        """Replace one numeric column wholesale (length-checked).
+
+        Used by the batched NetFlow export to overwrite sampled byte and
+        packet counts on a freshly filtered table without materializing
+        records.
+        """
+        column = array(_NUMERIC_TYPECODES[name], values)
+        if len(column) != self._length:
+            raise ValueError(
+                f"column {name!r}: got {len(column)} values for {self._length} rows"
+            )
+        self._numeric[name] = column
 
     def extend(self, records: Iterable[FlowRecord]) -> None:
         """Append many records.

@@ -5,6 +5,21 @@ packet-sampling rate; only header data (no payload) is captured, and subscriber
 addresses are anonymized by BGP prefix before the data is stored (Section 3.7,
 5.1).  Analyses therefore work on *sampled* byte and packet counts and scale them
 back by the sampling rate when estimating exchanged volumes (Section 5.6).
+
+Export comes in two bit-identical flavours:
+
+* :meth:`NetFlowCollector.export` walks a record list and samples each flow's
+  packet counts one at a time (the per-record reference), and
+* :meth:`NetFlowCollector.export_table` applies the same sampling column-wise
+  on a :class:`~repro.flows.flowtable.FlowTable`, batching the binomial draws
+  per direction in one pass over each packet-count column.
+
+Each direction draws from its own stream (``netflow-sampling:down`` /
+``netflow-sampling:up``), so the batched column passes consume every stream in
+exactly the per-record order and the two paths agree under a fixed seed.  In
+both paths flows whose sampled packet count is zero in both directions are not
+exported — including at ``sampling_ratio == 1``, where a flow with no packets
+was never visible to the collector in the first place.
 """
 
 from __future__ import annotations
@@ -12,9 +27,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 from datetime import datetime
-from typing import Iterable, Iterator, List, Optional
+from itertools import compress, repeat
+from typing import Iterable, List, Sequence, TYPE_CHECKING
 
 from repro.simulation.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (flowtable stores FlowRecords)
+    from repro.flows.flowtable import FlowTable
 
 #: Approximate bytes per packet used to derive packet counts from byte volumes.
 DEFAULT_PACKET_SIZE = 900
@@ -109,15 +128,22 @@ class NetFlowCollector:
         Each packet of a flow is sampled independently with probability
         ``1/sampling_ratio``; flows whose sampled packet count is zero in both
         directions are not exported (they were invisible to the collector).
+        The same visibility rule applies without sampling: a flow that carried
+        no packets at all never reached a border router.
         """
         if self.sampling_ratio == 1:
-            return [replace(flow, sampled=True) for flow in flows]
-        stream = rng.stream("netflow-sampling")
+            return [
+                replace(flow, sampled=True)
+                for flow in flows
+                if flow.packets_down or flow.packets_up
+            ]
+        down_stream = rng.stream("netflow-sampling:down")
+        up_stream = rng.stream("netflow-sampling:up")
         probability = 1.0 / self.sampling_ratio
         exported: List[FlowRecord] = []
         for flow in flows:
-            sampled_down = _binomial(stream, flow.packets_down, probability)
-            sampled_up = _binomial(stream, flow.packets_up, probability)
+            sampled_down = _binomial(down_stream, flow.packets_down, probability)
+            sampled_up = _binomial(up_stream, flow.packets_up, probability)
             if sampled_down == 0 and sampled_up == 0:
                 continue
             scale_down = sampled_down / flow.packets_down if flow.packets_down else 0.0
@@ -132,6 +158,58 @@ class NetFlowCollector:
                     sampled=True,
                 )
             )
+        return exported
+
+    def export_table(self, table: "FlowTable", rng: RngRegistry) -> "FlowTable":
+        """Columnar twin of :meth:`export`: packet sampling applied column-wise.
+
+        The binomial draws are batched per sampling stream (one pass over the
+        downstream packet column, one over the upstream column); under a fixed
+        seed the exported rows are bit-identical to the record path.
+        """
+        packets_down = table.numeric("packets_down")
+        packets_up = table.numeric("packets_up")
+        if self.sampling_ratio == 1:
+            mask = bytearray(
+                1 if down or up else 0 for down, up in zip(packets_down, packets_up)
+            )
+            exported = table.select_mask(mask)
+            exported.assign_numeric("sampled", repeat(1, len(exported)))
+            return exported
+        probability = 1.0 / self.sampling_ratio
+        sampled_down = _binomial_many(
+            rng.stream("netflow-sampling:down"), packets_down, probability
+        )
+        sampled_up = _binomial_many(
+            rng.stream("netflow-sampling:up"), packets_up, probability
+        )
+        mask = bytearray(1 if down or up else 0 for down, up in zip(sampled_down, sampled_up))
+        exported = table.select_mask(mask)
+        exported.assign_numeric(
+            "bytes_down",
+            [
+                original * (sampled / count) if count else 0.0
+                for original, sampled, count in zip(
+                    compress(table.numeric("bytes_down"), mask),
+                    compress(sampled_down, mask),
+                    compress(packets_down, mask),
+                )
+            ],
+        )
+        exported.assign_numeric(
+            "bytes_up",
+            [
+                original * (sampled / count) if count else 0.0
+                for original, sampled, count in zip(
+                    compress(table.numeric("bytes_up"), mask),
+                    compress(sampled_up, mask),
+                    compress(packets_up, mask),
+                )
+            ],
+        )
+        exported.assign_numeric("packets_down", compress(sampled_down, mask))
+        exported.assign_numeric("packets_up", compress(sampled_up, mask))
+        exported.assign_numeric("sampled", repeat(1, len(exported)))
         return exported
 
     def estimate_bytes(self, sampled_bytes: float) -> float:
@@ -151,3 +229,37 @@ def _binomial(stream, n: int, p: float) -> int:
     std = math.sqrt(n * p * (1.0 - p))
     value = int(round(stream.gauss(mean, std)))
     return max(0, min(n, value))
+
+
+def _binomial_many(stream, counts: Sequence[int], p: float) -> List[int]:
+    """Batched :func:`_binomial`: one draw per entry of a packet-count column.
+
+    Consumes ``stream`` exactly as the equivalent sequence of per-flow
+    :func:`_binomial` calls would, so record and columnar export stay
+    bit-identical; the batching saves the per-call dispatch and re-binding on
+    the export hot path.
+    """
+    if p <= 0.0:
+        return [0] * len(counts)
+    if p >= 1.0:
+        return list(counts)
+    rand = stream.random
+    gauss = stream.gauss
+    sqrt = math.sqrt
+    results: List[int] = []
+    append = results.append
+    for n in counts:
+        if n <= 0:
+            append(0)
+        elif n <= 64:
+            hits = 0
+            for _ in range(n):
+                if rand() < p:
+                    hits += 1
+            append(hits)
+        else:
+            mean = n * p
+            std = sqrt(n * p * (1.0 - p))
+            value = int(round(gauss(mean, std)))
+            append(max(0, min(n, value)))
+    return results

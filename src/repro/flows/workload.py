@@ -10,22 +10,46 @@ for providers using global load balancing, spreads devices over the whole fleet.
 Outages (Section 6.1) are injected here: flows served by servers in an affected
 cloud region during the outage window are scaled down, and a small fraction of the
 affected devices disappears from the data entirely.
+
+Two generation paths produce bit-identical flows:
+
+* the **record path** (:meth:`WorkloadGenerator.generate_period`) builds one
+  :class:`~repro.flows.netflow.FlowRecord` per flow and is kept as the readable
+  per-record reference implementation, and
+* the **columnar path** (:meth:`WorkloadGenerator.generate_period_table`)
+  appends hourly batches straight into dictionary-encoded
+  :class:`~repro.flows.flowtable.FlowTable` columns.  All per-device
+  invariants — candidate server subsets (which cost several SHA-256 hashes to
+  resolve), per-model hourly activity probabilities, cumulative port weights,
+  volume multipliers, dictionary codes for every categorical value — are
+  batched once per period instead of recomputed per device-hour, so the
+  hourly hot loop touches only the RNG and plain ints/floats.
+
+Both paths consume the per-hour stream (``workload:<hour-iso>``) in exactly
+the same order — one activity roll per device, then server pick, outage roll,
+lognormal volume, and port roll for the devices that emit a flow — which is
+what keeps the two paths (and the seed's historical output) bit-identical
+under a fixed seed.
 """
 
 from __future__ import annotations
 
 import math
+import random
+from bisect import bisect_right
 from dataclasses import dataclass
 from datetime import date, datetime, time
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from itertools import repeat
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.providers import PROVIDERS, ProviderSpec
 from repro.flows.devices import DeviceModel
-from repro.flows.netflow import FlowRecord, make_flow
-from repro.flows.scanners import generate_scanner_flows
+from repro.flows.flowtable import FlowTable
+from repro.flows.netflow import DEFAULT_PACKET_SIZE, FlowRecord, make_flow
+from repro.flows.scanners import append_scanner_flows, generate_scanner_flows
 from repro.flows.subscribers import DeviceInstance, SubscriberLine, SubscriberPopulation
-from repro.netmodel.geo import CONTINENT_ASIA, CONTINENT_EUROPE, CONTINENT_NORTH_AMERICA
-from repro.netmodel.topology import BackendServer, ProviderDeployment
+from repro.netmodel.geo import CONTINENT_EUROPE, CONTINENT_NORTH_AMERICA
+from repro.netmodel.topology import ProviderDeployment
 from repro.outage.injector import OutageSchedule
 from repro.simulation.clock import StudyPeriod
 from repro.simulation.rng import RngRegistry, stable_hash
@@ -39,6 +63,23 @@ class _ServerChoice:
     continent: str
     region_code: str
     cloud_host: Optional[str]
+
+
+@dataclass(frozen=True)
+class _DevicePlan:
+    """Per-device invariants precomputed once per generator (RNG-free)."""
+
+    line_id: int
+    prefix: str
+    provider_key: str
+    probabilities: Tuple[float, ...]
+    candidates: Tuple[_ServerChoice, ...]
+    versions: Tuple[int, ...]
+    per_hour_down: float
+    per_hour_up: float
+    multiplier: float
+    port_cumulative: Tuple[float, ...]
+    port_pairs: Tuple[Tuple[str, int], ...]
 
 
 class WorkloadGenerator:
@@ -63,6 +104,10 @@ class WorkloadGenerator:
         self.volume_sigma = volume_sigma
         self._volume_correction = math.exp(-(volume_sigma**2) / 2.0)
         self._choices = self._index_servers()
+        self._model_cache: Dict[
+            DeviceModel, Tuple[Tuple[float, ...], Tuple[float, ...], Tuple[Tuple[str, int], ...]]
+        ] = {}
+        self._plans: Optional[List[_DevicePlan]] = None
 
     # -- server indexing ---------------------------------------------------------
 
@@ -154,7 +199,7 @@ class WorkloadGenerator:
         step = 1 + stable_hash(seed + ":step", max(1, len(pool) - 1))
         return [pool[(start + i * step) % len(pool)] for i in range(size)]
 
-    # -- flow generation ----------------------------------------------------------
+    # -- flow generation (record path) ---------------------------------------------
 
     def generate_hour(self, when: datetime) -> List[FlowRecord]:
         """Generate the IoT flows of a single hour (scanner traffic excluded)."""
@@ -162,11 +207,8 @@ class WorkloadGenerator:
         flows: List[FlowRecord] = []
         hour = when.hour
         for line in self.population.lines:
-            if not line.devices:
-                continue
             for device in line.devices:
-                model = device.model
-                probability = model.profile.activity_probability(hour)
+                probability = device.model.profile.activity_probability(hour)
                 if stream.random() >= probability:
                     continue
                 flow = self._device_flow(line, device, when, stream)
@@ -197,6 +239,249 @@ class WorkloadGenerator:
             flows.extend(self.generate_day(day, include_scanners=include_scanners))
         return flows
 
+    # -- flow generation (columnar path) -------------------------------------------
+
+    def generate_period_table(
+        self, period: StudyPeriod, include_scanners: bool = True
+    ) -> FlowTable:
+        """Columnar twin of :meth:`generate_period`: same flows, same order.
+
+        Flows are appended hourly-batch-wise straight into ``FlowTable``
+        columns; no :class:`FlowRecord` objects are created.  Under a fixed
+        seed the result is bit-identical to
+        ``FlowTable.from_records(self.generate_period(period))``.
+        """
+        table = FlowTable()
+        rows, outage_keys = self._encoded_plans(table)
+        scanner_lines = self.population.scanner_lines() if include_scanners else []
+        catalog = self.server_catalog(ip_version=4) if include_scanners else []
+        for day in period.days():
+            for hour in range(24):
+                when = datetime.combine(day, time(hour=hour))
+                self._append_hour_columns(table, rows, outage_keys, when)
+            if include_scanners:
+                append_scanner_flows(table, scanner_lines, catalog, day, self.rng)
+        return table
+
+    def _model_tables(
+        self, model: DeviceModel
+    ) -> Tuple[Tuple[float, ...], Tuple[float, ...], Tuple[Tuple[str, int], ...]]:
+        """Per-model lookup tables: hourly probabilities, port cumulative weights.
+
+        Keyed by the (frozen, hashable) model itself, so two devices of one
+        provider carrying distinct models never share tables.
+        """
+        cached = self._model_cache.get(model)
+        if cached is None:
+            probabilities = tuple(
+                model.profile.activity_probability(hour) for hour in range(24)
+            )
+            cumulative: List[float] = []
+            total = 0.0
+            for _pair, weight in model.port_weights:
+                total += weight
+                cumulative.append(total)
+            pairs = tuple(pair for pair, _weight in model.port_weights)
+            cached = (probabilities, tuple(cumulative), pairs)
+            self._model_cache[model] = cached
+        return cached
+
+    def _device_plans(self) -> List[_DevicePlan]:
+        """Flatten the population into per-device plans (population order)."""
+        if self._plans is None:
+            plans: List[_DevicePlan] = []
+            for line in self.population.lines:
+                for device in line.devices:
+                    model = device.model
+                    probabilities, port_cumulative, port_pairs = self._model_tables(model)
+                    candidates = tuple(self._candidate_servers(device, line.ip_version))
+                    versions = tuple(
+                        6 if (line.ip_version == 6 and ":" in choice.ip) else 4
+                        for choice in candidates
+                    )
+                    hours = model.profile.active_hours_per_day
+                    plans.append(
+                        _DevicePlan(
+                            line_id=line.line_id,
+                            prefix=line.isp_prefix,
+                            provider_key=device.provider_key,
+                            probabilities=probabilities,
+                            candidates=candidates,
+                            versions=versions,
+                            per_hour_down=model.mean_daily_down_bytes / hours,
+                            per_hour_up=model.mean_daily_up_bytes / hours,
+                            multiplier=self._device_multiplier(device),
+                            port_cumulative=port_cumulative,
+                            port_pairs=port_pairs,
+                        )
+                    )
+            self._plans = plans
+        return self._plans
+
+    def _encoded_plans(
+        self, table: FlowTable
+    ) -> Tuple[List[tuple], List[Tuple[Optional[str], str]]]:
+        """Encode the device plans against one table's dictionary pools.
+
+        Returns per-device tuples holding pre-encoded categorical codes plus an
+        index into the distinct (cloud_host, region) outage-factor keys, so the
+        hourly hot loop appends plain integers and floats only.
+        """
+        encode = table.encode_value
+        outage_index: Dict[Tuple[Optional[str], str], int] = {}
+        outage_keys: List[Tuple[Optional[str], str]] = []
+        rows: List[tuple] = []
+        for plan in self._device_plans():
+            encoded_candidates = []
+            for choice, version in zip(plan.candidates, plan.versions):
+                key = (choice.cloud_host, choice.region_code)
+                key_index = outage_index.get(key)
+                if key_index is None:
+                    key_index = outage_index[key] = len(outage_keys)
+                    outage_keys.append(key)
+                encoded_candidates.append(
+                    (
+                        encode("server_ip", choice.ip),
+                        encode("server_continent", choice.continent),
+                        encode("server_region", choice.region_code),
+                        version,
+                        key_index,
+                    )
+                )
+            rows.append(
+                (
+                    plan.probabilities,
+                    plan.line_id,
+                    encode("subscriber_prefix", plan.prefix),
+                    encode("provider_key", plan.provider_key),
+                    tuple(encoded_candidates),
+                    plan.per_hour_down,
+                    plan.per_hour_up,
+                    plan.multiplier,
+                    plan.port_cumulative,
+                    tuple(
+                        (encode("transport", transport), port)
+                        for transport, port in plan.port_pairs
+                    ),
+                )
+            )
+        return rows, outage_keys
+
+    def _append_hour_columns(
+        self,
+        table: FlowTable,
+        rows: Sequence[tuple],
+        outage_keys: Sequence[Tuple[Optional[str], str]],
+        when: datetime,
+    ) -> None:
+        """Generate one hour of IoT flows straight into the table columns.
+
+        Consumes the hour's stream in exactly the record-path order — one
+        activity roll per device, then server pick / outage roll / volume /
+        port roll for the devices that emit a flow — so the table rows are
+        bit-identical to :meth:`generate_hour` under a fixed seed.
+        """
+        stream = self.rng.fresh_stream(f"workload:{when.isoformat()}")
+        rand = stream.random
+        randrange = stream.randrange
+        lognormvariate = stream.lognormvariate
+        hour = when.hour
+        # One schedule lookup per distinct (cloud_host, region) key per hour
+        # instead of two per flow; outside outage windows the lookup is skipped
+        # entirely (factors are 1.0 and no outage roll is drawn).
+        schedule = self.outage_schedule
+        has_outage = any(event.active_at(when) for event in schedule.events())
+        if has_outage:
+            traffic_factors = [
+                schedule.traffic_factor(host, region, when) for host, region in outage_keys
+            ]
+            device_factors = [
+                schedule.device_factor(host, region, when) for host, region in outage_keys
+            ]
+        else:
+            traffic_factors = device_factors = None
+        timestamp_code = table.encode_value("timestamp", when)
+        prefix_codes: List[int] = []
+        provider_codes: List[int] = []
+        ip_codes: List[int] = []
+        continent_codes: List[int] = []
+        region_codes: List[int] = []
+        transport_codes: List[int] = []
+        subscriber_ids: List[int] = []
+        ip_versions: List[int] = []
+        ports: List[int] = []
+        bytes_down_column: List[float] = []
+        bytes_up_column: List[float] = []
+        packets_down_column: List[int] = []
+        packets_up_column: List[int] = []
+        correction = self._volume_correction
+        sigma = self.volume_sigma
+        ceil = math.ceil
+        count = 0
+        for row in rows:
+            if rand() >= row[0][hour]:
+                continue
+            candidates = row[4]
+            if not candidates:
+                continue
+            candidate = candidates[randrange(len(candidates))]
+            if device_factors is None:
+                traffic_factor = 1.0
+            else:
+                device_factor = device_factors[candidate[4]]
+                if device_factor < 1.0 and rand() > device_factor:
+                    continue
+                traffic_factor = traffic_factors[candidate[4]]
+            volume_factor = lognormvariate(0.0, sigma) * correction
+            volume_factor *= row[7]
+            bytes_down = row[5] * volume_factor * traffic_factor
+            bytes_up = row[6] * volume_factor * traffic_factor
+            port_cumulative = row[8]
+            index = bisect_right(port_cumulative, rand() * port_cumulative[-1])
+            if index >= len(port_cumulative):
+                index = len(port_cumulative) - 1
+            transport_code, port = row[9][index]
+            prefix_codes.append(row[2])
+            provider_codes.append(row[3])
+            ip_codes.append(candidate[0])
+            continent_codes.append(candidate[1])
+            region_codes.append(candidate[2])
+            transport_codes.append(transport_code)
+            subscriber_ids.append(row[1])
+            ip_versions.append(candidate[3])
+            ports.append(port)
+            bytes_down_column.append(bytes_down)
+            bytes_up_column.append(bytes_up)
+            packets_down_column.append(
+                max(1, int(ceil(bytes_down / DEFAULT_PACKET_SIZE))) if bytes_down > 0 else 0
+            )
+            packets_up_column.append(
+                max(1, int(ceil(bytes_up / DEFAULT_PACKET_SIZE))) if bytes_up > 0 else 0
+            )
+            count += 1
+        table.append_columns(
+            count,
+            codes={
+                "timestamp": repeat(timestamp_code, count),
+                "subscriber_prefix": prefix_codes,
+                "provider_key": provider_codes,
+                "server_ip": ip_codes,
+                "server_continent": continent_codes,
+                "server_region": region_codes,
+                "transport": transport_codes,
+            },
+            numeric={
+                "subscriber_id": subscriber_ids,
+                "ip_version": ip_versions,
+                "port": ports,
+                "bytes_down": bytes_down_column,
+                "bytes_up": bytes_up_column,
+                "packets_down": packets_down_column,
+                "packets_up": packets_up_column,
+                "sampled": repeat(0, count),
+            },
+        )
+
     # -- helpers -------------------------------------------------------------------
 
     def _device_flow(
@@ -204,7 +489,7 @@ class WorkloadGenerator:
         line: SubscriberLine,
         device: DeviceInstance,
         when: datetime,
-        stream,
+        stream: random.Random,
     ) -> Optional[FlowRecord]:
         model = device.model
         candidates = self._candidate_servers(device, line.ip_version)
@@ -244,7 +529,7 @@ class WorkloadGenerator:
 
     @staticmethod
     def _select_server(
-        device: DeviceInstance, candidates: Sequence[_ServerChoice], stream
+        device: DeviceInstance, candidates: Sequence[_ServerChoice], stream: random.Random
     ) -> _ServerChoice:
         """Pick one of the device's provisioned servers for this flow."""
         return candidates[stream.randrange(len(candidates))]

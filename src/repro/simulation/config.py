@@ -9,8 +9,7 @@ of flows, discovery, all analyses) runs in well under a minute on a laptop; the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.simulation.clock import MAIN_STUDY_PERIOD, OUTAGE_STUDY_PERIOD, StudyPeriod
 
@@ -39,6 +38,10 @@ class ScenarioConfig:
     # NetFlow
     sampling_ratio: int = 1
 
+    # Workload
+    servers_per_device: int = 2
+    volume_sigma: float = 0.75
+
     # Measurement services
     geolocation_error_rate: float = 0.03
     n_non_iot_hosts: int = 40
@@ -61,6 +64,10 @@ class ScenarioConfig:
             raise ValueError("n_subscriber_lines must be positive")
         if self.sampling_ratio < 1:
             raise ValueError("sampling_ratio must be >= 1")
+        if self.servers_per_device < 1:
+            raise ValueError("servers_per_device must be >= 1")
+        if self.volume_sigma < 0:
+            raise ValueError("volume_sigma must be non-negative")
         if not 0.0 <= self.ipv6_line_fraction <= 1.0:
             raise ValueError("ipv6_line_fraction must be within [0, 1]")
         if not 0.0 <= self.iot_household_fraction <= 1.0:

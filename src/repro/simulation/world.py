@@ -26,10 +26,6 @@ from repro.core.providers import (
 )
 from repro.dns.authoritative import AnswerPolicy, AuthoritativeNameServer, AuthoritativeRecord
 from repro.dns.names import (
-    REGION_STYLE_AIRPORT,
-    REGION_STYLE_CODE,
-    REGION_STYLE_NONE,
-    REGION_STYLE_ZONE,
     SUBDOMAIN_CUSTOMER,
     SUBDOMAIN_FIXED,
     SUBDOMAIN_SERVICE,
@@ -39,6 +35,7 @@ from repro.dns.names import (
 from repro.dns.passive_db import PassiveDnsDatabase
 from repro.dns.resolver import VantagePoint
 from repro.dns.zone import RTYPE_A, RTYPE_AAAA
+from repro.flows.flowtable import FlowTable
 from repro.flows.subscribers import SubscriberPopulation
 from repro.flows.workload import WorkloadGenerator
 from repro.netmodel.addressing import PrefixAllocator
@@ -111,6 +108,7 @@ class World:
     vantage_points: List[VantagePoint]
     iot_domains: Dict[str, List[str]]
     _flow_cache: Dict[str, list] = field(default_factory=dict)
+    _table_cache: Dict[str, FlowTable] = field(default_factory=dict)
 
     # -- ground-truth views -----------------------------------------------------------
 
@@ -173,17 +171,35 @@ class World:
             deployments=self.dedicated_deployments(),
             rng=self.rng.spawn("workload"),
             outage_schedule=self.outage_schedule,
+            servers_per_device=self.config.servers_per_device,
+            volume_sigma=self.config.volume_sigma,
         )
+
+    def flows_table(
+        self, period: Optional[StudyPeriod] = None, include_scanners: bool = True
+    ) -> FlowTable:
+        """Return (and cache) the columnar flow table of a study period.
+
+        This is the generation source of truth; :meth:`flows` derives its
+        record list from it.
+        """
+        period = period or self.config.study_period
+        cache_key = f"{period.name}:{period.start}:{period.end}:{include_scanners}"
+        if cache_key not in self._table_cache:
+            generator = self.workload_generator()
+            self._table_cache[cache_key] = generator.generate_period_table(
+                period, include_scanners=include_scanners
+            )
+        return self._table_cache[cache_key]
 
     def flows(self, period: Optional[StudyPeriod] = None, include_scanners: bool = True) -> list:
         """Return (and cache) the flow records of a study period."""
         period = period or self.config.study_period
         cache_key = f"{period.name}:{period.start}:{period.end}:{include_scanners}"
         if cache_key not in self._flow_cache:
-            generator = self.workload_generator()
-            self._flow_cache[cache_key] = generator.generate_period(
+            self._flow_cache[cache_key] = self.flows_table(
                 period, include_scanners=include_scanners
-            )
+            ).to_records()
         return self._flow_cache[cache_key]
 
 

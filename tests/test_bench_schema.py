@@ -1,0 +1,43 @@
+"""Tier-1 guard: all BENCH_*.json artifacts conform to the shared schema."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def _checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_schema", ROOT / "benchmarks" / "check_bench_schema.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repository_bench_artifacts_conform():
+    problems = _checker().check_bench_files(ROOT)
+    assert problems == []
+
+
+def test_checker_flags_stale_and_malformed_artifacts(tmp_path):
+    checker = _checker()
+    # Valid schema but no regenerating benchmark module -> stale.
+    (tmp_path / "BENCH_ghost.json").write_text(
+        json.dumps({"benchmark": "ghost", "run_seconds": 1.0, "speedup": 2.0})
+    )
+    problems = checker.check_bench_files(tmp_path)
+    assert any("test_perf_ghost.py" in problem for problem in problems)
+    # Missing name, timing, and speedup fields are each reported.
+    (tmp_path / "BENCH_empty.json").write_text("{}")
+    problems = checker.check_bench_files(tmp_path)
+    assert any("'benchmark'" in problem for problem in problems)
+    assert any("_seconds" in problem for problem in problems)
+    assert any("speedup" in problem for problem in problems)
+
+
+def test_checker_main_exit_codes(tmp_path):
+    checker = _checker()
+    assert checker.main([str(ROOT)]) == 0
+    assert checker.main([str(tmp_path)]) == 1

@@ -1,0 +1,63 @@
+"""Regression tests for the shared experiment-context cache.
+
+The ``build_context`` cache used to key on a hand-picked subset of the
+scenario fields; scenarios differing only in the outage period or the
+workload parameters silently aliased each other.  The key is now the full
+frozen :class:`ScenarioConfig`.
+"""
+
+from datetime import date
+
+from repro.experiments.context import build_context
+from repro.simulation.clock import StudyPeriod
+from repro.simulation.config import ScenarioConfig
+
+
+def _tiny(seed: int = 11, **overrides) -> ScenarioConfig:
+    """A deliberately minimal scenario so each context builds in well under a second."""
+    return ScenarioConfig.small(seed=seed).with_overrides(
+        n_subscriber_lines=40, n_scanner_lines=1, **overrides
+    )
+
+
+def test_build_context_cache_distinguishes_outage_period():
+    base = _tiny()
+    shifted = base.with_overrides(
+        outage_period=StudyPeriod(date(2021, 11, 1), date(2021, 11, 8), name="outage-alt")
+    )
+    context_base = build_context(base)
+    context_shifted = build_context(shifted)
+    assert context_base is not context_shifted
+    assert context_shifted.config.outage_period.start == date(2021, 11, 1)
+    # Equal configurations still share one cached context.
+    assert build_context(_tiny()) is context_base
+
+
+def test_build_context_cache_distinguishes_workload_parameters():
+    base = _tiny(seed=12)
+    context_base = build_context(base)
+    context_servers = build_context(base.with_overrides(servers_per_device=4))
+    context_sigma = build_context(base.with_overrides(volume_sigma=0.3))
+    assert context_servers is not context_base
+    assert context_sigma is not context_base
+    assert context_servers is not context_sigma
+
+
+def test_context_flow_caches_distinguish_same_name_periods():
+    """Two periods sharing a name but not dates must not alias in the caches."""
+    context = build_context(_tiny(seed=14))
+    first = StudyPeriod(date(2022, 2, 28), date(2022, 3, 2))
+    second = StudyPeriod(date(2022, 3, 10), date(2022, 3, 12))
+    table_first = context.raw_table(first)
+    table_second = context.raw_table(second)
+    assert table_first is not table_second
+    days_second = {record.timestamp.date() for record in context.raw_flows(second)}
+    assert days_second == {date(2022, 3, 10), date(2022, 3, 11)}
+
+
+def test_workload_parameters_reach_generator():
+    config = _tiny(seed=13, servers_per_device=5, volume_sigma=0.4)
+    context = build_context(config)
+    generator = context.world.workload_generator()
+    assert generator.servers_per_device == 5
+    assert generator.volume_sigma == 0.4

@@ -86,6 +86,61 @@ class TestRoundTrip:
         assert table.column("sampled") == [r.sampled for r in records]
 
 
+class TestBuilderApi:
+    def _columns_for(self, built, flows):
+        codes = {
+            name: [built.encode_value(name, getattr(flow, name)) for flow in flows]
+            for name in (
+                "timestamp",
+                "subscriber_prefix",
+                "provider_key",
+                "server_ip",
+                "server_continent",
+                "server_region",
+                "transport",
+            )
+        }
+        numeric = {
+            name: [getattr(flow, name) for flow in flows]
+            for name in (
+                "subscriber_id",
+                "ip_version",
+                "port",
+                "bytes_down",
+                "bytes_up",
+                "packets_down",
+                "packets_up",
+            )
+        }
+        numeric["sampled"] = [1 if flow.sampled else 0 for flow in flows]
+        return codes, numeric
+
+    def test_append_columns_matches_from_records(self, records):
+        built = FlowTable()
+        codes, numeric = self._columns_for(built, records)
+        built.append_columns(len(records), codes, numeric)
+        assert built.to_records() == records
+
+    def test_append_columns_is_atomic_on_length_mismatch(self, records):
+        built = FlowTable()
+        codes, numeric = self._columns_for(built, records[:4])
+        built.append_columns(4, codes, numeric)
+        bad_codes, bad_numeric = self._columns_for(built, records[4:8])
+        bad_numeric["bytes_up"] = bad_numeric["bytes_up"][:-1]  # short column
+        with pytest.raises(ValueError):
+            built.append_columns(4, bad_codes, bad_numeric)
+        # The failed batch left no partial rows behind.
+        assert len(built) == 4
+        assert built.to_records() == records[:4]
+
+    def test_assign_numeric_validates_length(self, records):
+        built = FlowTable.from_records(records[:6])
+        built.assign_numeric("bytes_down", [1.0] * 6)
+        assert built.column("bytes_down") == [1.0] * 6
+        with pytest.raises(ValueError):
+            built.assign_numeric("bytes_down", [1.0] * 5)
+
+
 class TestFilters:
     def test_where_day(self, records, table):
         expected = [r for r in records if r.timestamp.date() == BASE_DAY]

@@ -5,7 +5,14 @@ from datetime import datetime
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.flows.netflow import FlowRecord, NetFlowCollector, make_flow
+from repro.flows.flowtable import FlowTable
+from repro.flows.netflow import (
+    FlowRecord,
+    NetFlowCollector,
+    _binomial,
+    _binomial_many,
+    make_flow,
+)
 from repro.simulation.rng import RngRegistry
 
 
@@ -65,6 +72,66 @@ def test_sampling_drops_tiny_flows_sometimes():
 def test_invalid_sampling_ratio():
     with pytest.raises(ValueError):
         NetFlowCollector(sampling_ratio=0)
+
+
+def test_unsampled_export_applies_visibility_rule():
+    """A flow with no packets in either direction was never seen by a router."""
+    collector = NetFlowCollector(sampling_ratio=1)
+    flows = [_flow(), _flow(bytes_down=0.0, bytes_up=0.0), _flow()]
+    exported = collector.export(flows, RngRegistry(4))
+    assert len(exported) == 2
+    assert all(f.packets_down or f.packets_up for f in exported)
+    table = collector.export_table(FlowTable.from_records(flows), RngRegistry(4))
+    assert table.to_records() == exported
+
+
+def _varied_flows(count: int) -> list:
+    """Flows mixing small (exact binomial) and large (gaussian) packet counts."""
+    flows = []
+    for index in range(count):
+        if index % 7 == 0:
+            down, up = 0.0, 150.0  # zero-packet downstream direction
+        elif index % 3 == 0:
+            down, up = 90_000.0, 70_000.0  # > 64 packets per direction
+        else:
+            down, up = 5_000.0 + 13.0 * index, 900.0 + 7.0 * index
+        flows.append(_flow(bytes_down=down, bytes_up=up))
+    return flows
+
+
+def test_export_table_matches_export():
+    """Columnar sampling is bit-identical to the per-record path."""
+    flows = _varied_flows(240)
+    collector = NetFlowCollector(sampling_ratio=7)
+    exported = collector.export(flows, RngRegistry(9))
+    table = collector.export_table(FlowTable.from_records(flows), RngRegistry(9))
+    assert table.to_records() == exported
+
+
+def test_batched_binomial_preserves_moments():
+    """Batched draws keep the mean and variance of the per-flow _binomial."""
+    for n, p in ((40, 0.1), (500, 0.02)):
+        draws = 4000
+        batched = _binomial_many(RngRegistry(21).stream("bin"), [n] * draws, p)
+        stream = RngRegistry(22).stream("bin")
+        scalar = [_binomial(stream, n, p) for _ in range(draws)]
+        mean = n * p
+        variance = n * p * (1.0 - p)
+        tolerance = 4 * (variance / draws) ** 0.5
+        for values in (batched, scalar):
+            sample_mean = sum(values) / draws
+            assert abs(sample_mean - mean) < tolerance
+            sample_var = sum((v - sample_mean) ** 2 for v in values) / (draws - 1)
+            assert 0.7 * variance < sample_var < 1.3 * variance
+
+
+def test_batched_binomial_is_stream_identical():
+    """On the same stream, the batch consumes draws exactly like scalar calls."""
+    counts = [0, 1, 5, 64, 65, 200, 3, 0, 80]
+    batched = _binomial_many(RngRegistry(33).stream("bin"), counts, 0.2)
+    stream = RngRegistry(33).stream("bin")
+    scalar = [_binomial(stream, n, 0.2) for n in counts]
+    assert batched == scalar
 
 
 @given(st.integers(min_value=2, max_value=64))
