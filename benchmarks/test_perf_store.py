@@ -1,0 +1,85 @@
+"""Benchmark P-S1: cold vs. warm experiment-context build via the artifact store.
+
+Times how long it takes to get a default-scale context "analysis-ready" (the
+scanner-cleaned main-week table of the Section 5 analyses) twice:
+
+* **cold** — an empty artifact store: the world is built, a week of flows is
+  generated, NetFlow-sampled, scanner-excluded by a discovery run, and every
+  stage is persisted to the store, and
+* **warm** — a fresh process-equivalent context (the in-process LRU is
+  bypassed) over the now-populated store: the clean table deserializes
+  straight from disk and neither generation nor the discovery pipeline runs.
+
+Warm output is asserted bit-identical to cold output, the codec's raw
+serialize/deserialize throughput is recorded, and the numbers land in
+``BENCH_store.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.experiments.context import build_context
+from repro.simulation.config import ScenarioConfig
+from repro.store.artifacts import ArtifactStore
+from repro.store.codec import dumps_table, loads_table
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_store.json"
+
+
+def _analysis_ready_seconds(config, store):
+    """Build a context (LRU bypassed) and its clean main-week table; time it."""
+    start = time.perf_counter()
+    context = build_context(config, use_cache=False, store=store)
+    table = context.clean_table()
+    return time.perf_counter() - start, table, context
+
+
+def test_perf_store_warm_context(tmp_path):
+    config = ScenarioConfig.default(seed=7)
+    store = ArtifactStore(tmp_path / "store")
+
+    cold_seconds, cold_table, cold_context = _analysis_ready_seconds(config, store)
+    assert cold_context._result is not None  # the cold path ran discovery
+
+    warm_seconds = float("inf")
+    warm_table = None
+    warm_context = None
+    for _ in range(3):
+        elapsed, warm_table, warm_context = _analysis_ready_seconds(config, store)
+        warm_seconds = min(warm_seconds, elapsed)
+    assert warm_context._result is None  # the warm path skipped discovery
+
+    # Warm-start parity: the persisted table is bit-identical to the cold one.
+    assert warm_table.to_records() == cold_table.to_records()
+
+    # Raw codec throughput on the clean table.
+    start = time.perf_counter()
+    blob = dumps_table(cold_table)
+    serialize_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    loads_table(blob)
+    deserialize_seconds = time.perf_counter() - start
+
+    warm_speedup = cold_seconds / warm_seconds
+    payload = {
+        "benchmark": "store-warm-context",
+        "rows": len(cold_table),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": round(warm_speedup, 2),
+        "serialize_seconds": round(serialize_seconds, 4),
+        "deserialize_seconds": round(deserialize_seconds, 4),
+        "serialized_mb": round(len(blob) / 1e6, 2),
+        "store_artifacts": len(store.entries()),
+        "store_mb": round(store.total_bytes() / 1e6, 2),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    emit("Benchmark: artifact-store warm context build", json.dumps(payload, indent=2))
+
+    # The acceptance bar for the subsystem: warm-start >= 3x faster than cold.
+    assert warm_speedup >= 3.0

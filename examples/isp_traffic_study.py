@@ -29,8 +29,8 @@ from repro.experiments.traffic_experiments import (
 from repro.simulation.config import ScenarioConfig
 
 
-def main() -> None:
-    config = ScenarioConfig.small(seed=11).with_overrides(n_subscriber_lines=1500)
+def main(config: "ScenarioConfig | None" = None) -> None:
+    config = config or ScenarioConfig.small(seed=11).with_overrides(n_subscriber_lines=1500)
     print("Building world, running discovery, generating one week of NetFlow...")
     context = build_context(config)
 

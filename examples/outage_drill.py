@@ -23,8 +23,8 @@ from repro.outage.injector import OutageSchedule, aws_us_east_1_outage
 from repro.simulation.config import ScenarioConfig
 
 
-def main() -> None:
-    config = ScenarioConfig.small(seed=23).with_overrides(n_subscriber_lines=1500)
+def main(config: "ScenarioConfig | None" = None) -> None:
+    config = config or ScenarioConfig.small(seed=23).with_overrides(n_subscriber_lines=1500)
     print("Building world and replaying the December 2021 outage week...")
     context = build_context(config)
 

@@ -24,8 +24,9 @@ from repro.experiments.context import build_context
 from repro.simulation.config import ScenarioConfig
 
 
-def main() -> None:
-    key = sys.argv[1] if len(sys.argv) > 1 else "google"
+def main(key: "str | None" = None, config: "ScenarioConfig | None" = None) -> None:
+    if key is None:
+        key = sys.argv[1] if len(sys.argv) > 1 else "google"
     if key not in provider_keys():
         raise SystemExit(f"unknown provider {key!r}; choose one of {', '.join(provider_keys())}")
     spec = get_provider(key)
@@ -44,7 +45,7 @@ def main() -> None:
         print(f"  Censys string search:  {query}")
 
     print("\nRunning discovery on the synthetic measurement environment...")
-    context = build_context(ScenarioConfig.small(seed=7))
+    context = build_context(config or ScenarioConfig.small(seed=7))
     result = context.result
     footprint = result.footprints.get(key)
     if footprint is None:

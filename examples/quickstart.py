@@ -11,16 +11,18 @@ Run with::
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.pipeline import DiscoveryPipeline
 from repro.core.report import format_count, render_table
 from repro.simulation.config import ScenarioConfig
 from repro.simulation.world import build_world
 
 
-def main() -> None:
+def main(config: Optional[ScenarioConfig] = None) -> None:
     # A reduced scenario keeps the example fast; drop the override for the
     # benchmark-scale world.
-    config = ScenarioConfig.small(seed=7)
+    config = config or ScenarioConfig.small(seed=7)
     print(f"Building synthetic world (seed={config.seed}, {config.n_subscriber_lines} subscriber lines)...")
     world = build_world(config)
     print(

@@ -8,31 +8,72 @@ without writing Python::
     iot-backend-repro discovery         # end-to-end discovery summary (Figure 2)
     iot-backend-repro sources           # per-source contribution (Figure 3)
     iot-backend-repro stability         # IP-set stability (Figure 4)
+    iot-backend-repro validation        # methodology validation (Section 3.4/3.5)
     iot-backend-repro traffic           # traffic analyses (Figures 5-14)
     iot-backend-repro outage            # AWS outage impact (Figures 15-16)
     iot-backend-repro disruptions       # BGP / blocklist exposure (Section 6.2)
+    iot-backend-repro ablations         # portscan-only / vantage-point ablations
 
-Common options select the scenario scale and seed.
+and the scenario-scale subsystem::
+
+    iot-backend-repro sweep --axis sampling_ratio=1,10 --axis scale=0.01,0.02 \\
+        --metrics traffic,outage --workers 4 --ledger sweep.jsonl
+                                        # parallel multi-scenario campaign
+    iot-backend-repro cache ls          # list the on-disk artifact store
+    iot-backend-repro cache prune       # delete cached artifacts
+
+Common options select the scenario scale and seed; ``--store DIR`` attaches the
+persistent artifact cache so repeated invocations warm-start from disk.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments import build_context
 from repro.experiments import characterization, disruption_experiments, traffic_experiments
 from repro.simulation.config import ScenarioConfig
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {value}")
+    return value
+
+
 def _make_config(args: argparse.Namespace) -> ScenarioConfig:
     config = ScenarioConfig.small(seed=args.seed) if args.small else ScenarioConfig(seed=args.seed)
-    if args.subscriber_lines:
+    # `is not None` (not truthiness): explicit values must always be applied, and
+    # non-positive ones are rejected by the parser types above.
+    if args.subscriber_lines is not None:
         config = config.with_overrides(n_subscriber_lines=args.subscriber_lines)
-    if args.scale:
+    if args.scale is not None:
         config = config.with_overrides(scale=args.scale)
     return config
+
+
+def _make_store(args: argparse.Namespace):
+    if getattr(args, "store", None) is None:
+        return None
+    from repro.store.artifacts import ArtifactStore
+
+    return ArtifactStore(args.store)
 
 
 def _cmd_table1(context) -> str:
@@ -104,6 +145,43 @@ _COMMANDS: Dict[str, Callable] = {
     "ablations": _cmd_ablations,
 }
 
+_COMMAND_HELP = {
+    "table1": "provider characterization (Table 1)",
+    "patterns": "regexes and queries (Table 2 / Appendix A)",
+    "discovery": "end-to-end discovery summary (Figure 2)",
+    "sources": "per-source contribution (Figure 3)",
+    "stability": "IP-set stability (Figure 4)",
+    "validation": "methodology validation (Section 3.4/3.5)",
+    "traffic": "traffic analyses (Figures 5-14)",
+    "outage": "AWS outage impact (Figures 15-16)",
+    "disruptions": "BGP / blocklist exposure (Section 6.2)",
+    "ablations": "portscan-only / vantage-point ablations",
+}
+
+
+def _scenario_options() -> argparse.ArgumentParser:
+    """Shared scenario options (a parents= parser for every subcommand)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=7, help="scenario seed (default 7)")
+    common.add_argument("--small", action="store_true", help="use the small test scenario")
+    common.add_argument(
+        "--scale", type=_positive_float, default=None, help="provider deployment scale factor"
+    )
+    common.add_argument(
+        "--subscriber-lines",
+        type=_positive_int,
+        default=None,
+        help="number of ISP subscriber lines",
+    )
+    common.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="artifact store directory for persistent warm starts "
+        "(default: no persistent cache)",
+    )
+    return common
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
@@ -111,22 +189,135 @@ def build_parser() -> argparse.ArgumentParser:
         prog="iot-backend-repro",
         description="Reproduction of 'Deep Dive into the IoT Backend Ecosystem' (IMC 2022).",
     )
-    parser.add_argument("command", choices=sorted(_COMMANDS), help="experiment to run")
-    parser.add_argument("--seed", type=int, default=7, help="scenario seed (default 7)")
-    parser.add_argument("--small", action="store_true", help="use the small test scenario")
-    parser.add_argument("--scale", type=float, default=None, help="provider deployment scale factor")
-    parser.add_argument(
-        "--subscriber-lines", type=int, default=None, help="number of ISP subscriber lines"
+    common = _scenario_options()
+    subparsers = parser.add_subparsers(dest="command", required=True, metavar="command")
+    for name in sorted(_COMMANDS):
+        subparsers.add_parser(name, parents=[common], help=_COMMAND_HELP[name])
+
+    sweep = subparsers.add_parser(
+        "sweep", parents=[common], help="run a grid of scenarios across workers"
+    )
+    sweep.add_argument(
+        "--axis",
+        action="append",
+        required=True,
+        metavar="FIELD=V1,V2,...",
+        help="a swept ScenarioConfig field and its values (repeatable)",
+    )
+    sweep.add_argument(
+        "--metrics",
+        default="traffic",
+        help="comma-separated metric sets to evaluate per scenario "
+        "(traffic, discovery, outage; default: traffic)",
+    )
+    sweep.add_argument(
+        "--workers", type=_positive_int, default=1, help="parallel worker processes (default 1)"
+    )
+    sweep.add_argument(
+        "--ledger", default=None, metavar="PATH", help="write the JSONL results ledger here"
+    )
+    sweep.add_argument(
+        "--pivot",
+        default=None,
+        metavar="METRIC",
+        help="metric to pivot over the first one/two axes (default: first metric)",
+    )
+
+    cache = subparsers.add_parser("cache", help="inspect or prune the artifact store")
+    cache.add_argument("action", choices=("ls", "prune"), help="what to do with the store")
+    cache.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="artifact store directory (default: $IOT_REPRO_STORE or ~/.cache/iot-backend-repro)",
+    )
+    cache.add_argument(
+        "--older-than-days",
+        type=_positive_float,
+        default=None,
+        help="prune only artifacts older than this many days",
     )
     return parser
+
+
+def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> Tuple[str, int]:
+    from repro.sweeps import ScenarioGrid, SweepRunner
+
+    base = _make_config(args)
+    try:
+        grid = ScenarioGrid.from_strings(base, args.axis)
+        grid.specs()  # expand eagerly so invalid axis *values* fail as parser errors too
+        runner = SweepRunner(
+            metrics=tuple(name.strip() for name in args.metrics.split(",") if name.strip()),
+            workers=args.workers,
+            store=args.store,
+            ledger_path=args.ledger,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+    result = runner.run(grid)
+    sections = [result.render_results()]
+    pivot_metric = args.pivot or (result.metric_names()[0] if result.metric_names() else None)
+    if pivot_metric is not None:
+        axes = grid.axis_names
+        col_axis = axes[1] if len(axes) > 1 else None
+        sections.append(result.render_pivot(pivot_metric, axes[0], col_axis))
+    if args.ledger:
+        sections.append(f"ledger written to {args.ledger}")
+    failures = result.failures()
+    if failures:
+        sections.append(
+            "FAILED scenarios:\n"
+            + "\n".join(f"  {outcome.scenario_id}: {outcome.error}" for outcome in failures)
+        )
+    return "\n\n".join(sections), 1 if failures else 0
+
+
+def _run_cache(args: argparse.Namespace) -> str:
+    from repro.core.report import render_table
+    from repro.store.artifacts import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    if args.action == "prune":
+        cutoff = args.older_than_days * 86400.0 if args.older_than_days is not None else None
+        removed, freed = store.prune(older_than_seconds=cutoff)
+        return f"pruned {removed} artifact(s), freed {freed / 1e6:.1f} MB from {store.root}"
+    entries = store.entries()
+    if not entries:
+        return f"artifact store {store.root} is empty"
+    rows = [
+        [
+            entry.digest[:12],
+            entry.stage,
+            entry.period,
+            entry.rows,
+            f"{entry.payload_bytes / 1e6:.1f} MB",
+            f"{entry.age_seconds / 3600.0:.1f}h",
+        ]
+        for entry in entries
+    ]
+    total_bytes = sum(entry.payload_bytes for entry in entries)
+    table = render_table(
+        ["digest", "stage", "period", "rows", "size", "age"],
+        rows,
+        title=f"Artifact store {store.root} ({total_bytes / 1e6:.1f} MB)",
+    )
+    return table
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "sweep":
+        output, exit_code = _run_sweep(args, parser)
+        print(output)
+        return exit_code
+    if args.command == "cache":
+        print(_run_cache(args))
+        return 0
     config = _make_config(args)
-    context = build_context(config)
+    context = build_context(config, store=_make_store(args))
     output = _COMMANDS[args.command](context)
     print(output)
     return 0

@@ -1,15 +1,27 @@
 """Shared experiment context.
 
-Building the world, running the discovery pipeline, and generating a week of flows
-are the expensive steps shared by every experiment; the context performs them once
-and caches the results.  Benchmarks share a single context per scenario
-configuration through :func:`build_context`'s module-level cache.
+Building the world, running the discovery pipeline, and generating a week of
+flows are the expensive steps shared by every experiment; the context performs
+them once and caches the results.  Two cache layers exist:
+
+* an in-process LRU keyed on the full frozen :class:`ScenarioConfig`
+  (:func:`build_context`'s module-level cache, bounded so a sweep over dozens
+  of configurations cannot hold every world in memory), and
+* an optional on-disk :class:`~repro.store.artifacts.ArtifactStore`: when one
+  is passed to :func:`build_context`, the generated, exported, and
+  scanner-cleaned flow tables warm-start from disk across processes.
+
+The discovery pipeline is built *lazily*: a context whose flow tables all come
+from the artifact store never pays for a discovery run it does not use.  This
+is safe because the pipeline consumes no random streams — it is a pure
+function of the already-built world — so running it before or after flow
+generation yields bit-identical results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.core.pipeline import DiscoveryPipeline, PipelineResult
 from repro.core.traffic import DEFAULT_SCANNER_THRESHOLD, ScannerExclusion
@@ -20,19 +32,51 @@ from repro.simulation.clock import StudyPeriod
 from repro.simulation.config import ScenarioConfig
 from repro.simulation.world import World, build_world
 
+if TYPE_CHECKING:  # pragma: no cover - typing-only
+    from repro.store.artifacts import ArtifactStore
 
-@dataclass
+
 class ExperimentContext:
     """Everything the individual experiments need, computed once."""
 
-    config: ScenarioConfig
-    world: World
-    pipeline: DiscoveryPipeline
-    result: PipelineResult
-    anonymization: AnonymizationMap
-    _flow_cache: Dict[Tuple, List[FlowRecord]] = field(default_factory=dict)
-    _scanner_cache: Dict[Tuple[StudyPeriod, int], Set[int]] = field(default_factory=dict)
-    _table_cache: Dict[Tuple, FlowTable] = field(default_factory=dict)
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        world: World,
+        anonymization: Optional[AnonymizationMap] = None,
+        store: Optional["ArtifactStore"] = None,
+        pipeline: Optional[DiscoveryPipeline] = None,
+        result: Optional[PipelineResult] = None,
+    ) -> None:
+        self.config = config
+        self.world = world
+        self.anonymization = anonymization or AnonymizationMap.build()
+        self.store = store
+        self._pipeline = pipeline
+        self._result = result
+        self._flow_cache: Dict[Tuple, List[FlowRecord]] = {}
+        self._scanner_cache: Dict[Tuple[StudyPeriod, int], Set[int]] = {}
+        self._table_cache: Dict[Tuple, FlowTable] = {}
+
+    # -- discovery (lazy) ----------------------------------------------------------
+
+    @property
+    def pipeline(self) -> DiscoveryPipeline:
+        """The discovery pipeline, built on first use."""
+        if self._pipeline is None:
+            self._pipeline = DiscoveryPipeline(self.world)
+        return self._pipeline
+
+    @property
+    def result(self) -> PipelineResult:
+        """The discovery run, executed on first use.
+
+        Contexts that only read warm flow tables from the artifact store never
+        trigger it.
+        """
+        if self._result is None:
+            self._result = self.pipeline.run()
+        return self._result
 
     # -- flows ---------------------------------------------------------------------
 
@@ -88,17 +132,31 @@ class ExperimentContext:
         """Sampled NetFlow export for a period as a columnar table.
 
         Flows are generated straight into ``FlowTable`` columns and sampled
-        column-wise; no intermediate record list exists on this path.
+        column-wise; no intermediate record list exists on this path.  With an
+        artifact store attached the export warm-starts from disk, skipping
+        generation and sampling entirely.
         """
         period = period or self.config.study_period
         key = (period, True)
         if key not in self._table_cache:
-            generated = self.world.flows_table(period)
-            collector = NetFlowCollector(self.config.sampling_ratio)
-            self._table_cache[key] = collector.export_table(
-                generated, self.world.rng.spawn("netflow")
-            )
+            self._table_cache[key] = self._load_or_build_raw(period)
         return self._table_cache[key]
+
+    def _load_or_build_raw(self, period: StudyPeriod) -> FlowTable:
+        stage = None
+        if self.store is not None:
+            from repro.store.artifacts import STAGE_RAW_EXPORT
+
+            stage = STAGE_RAW_EXPORT
+            cached = self.store.get_table(self.config, period, stage)
+            if cached is not None:
+                return cached
+        generated = self.world.flows_table(period)
+        collector = NetFlowCollector(self.config.sampling_ratio)
+        table = collector.export_table(generated, self.world.rng.spawn("netflow"))
+        if self.store is not None:
+            self.store.put_table(self.config, period, stage, table)
+        return table
 
     def clean_table(
         self,
@@ -109,13 +167,29 @@ class ExperimentContext:
 
         The scanner-excluded table is derived from the raw table by a bulk
         subscriber filter, so the expensive record conversion happens once.
+        With an artifact store attached it warm-starts from disk, which also
+        skips the discovery run the scanner exclusion needs.
         """
         period = period or self.config.study_period
         key = (period, threshold, False)
         if key not in self._table_cache:
-            scanners = self.scanner_lines(period, threshold)
-            self._table_cache[key] = self.raw_table(period).exclude_subscribers(scanners)
+            self._table_cache[key] = self._load_or_build_clean(period, threshold)
         return self._table_cache[key]
+
+    def _load_or_build_clean(self, period: StudyPeriod, threshold: int) -> FlowTable:
+        stage = None
+        if self.store is not None:
+            from repro.store.artifacts import clean_stage
+
+            stage = clean_stage(threshold)
+            cached = self.store.get_table(self.config, period, stage)
+            if cached is not None:
+                return cached
+        scanners = self.scanner_lines(period, threshold)
+        table = self.raw_table(period).exclude_subscribers(scanners)
+        if self.store is not None:
+            self.store.put_table(self.config, period, stage, table)
+        return table
 
     def outage_table(self) -> FlowTable:
         """Columnar view of the outage-period clean flows."""
@@ -129,30 +203,51 @@ class ExperimentContext:
         return self.config.sampling_ratio
 
 
-_CONTEXT_CACHE: Dict[ScenarioConfig, ExperimentContext] = {}
+#: Upper bound of the in-process context cache.  Contexts hold a full world
+#: plus every generated flow table, so the LRU stays deliberately small; bulk
+#: multi-scenario work (``repro.sweeps``) bypasses it and relies on the disk
+#: store instead.
+CONTEXT_CACHE_MAX_ENTRIES = 4
+
+_CONTEXT_CACHE: "OrderedDict[Tuple, ExperimentContext]" = OrderedDict()
 
 
-def build_context(config: Optional[ScenarioConfig] = None, use_cache: bool = True) -> ExperimentContext:
+def _cache_key(config: ScenarioConfig, store: Optional["ArtifactStore"]) -> Tuple:
+    """The LRU key: the frozen config plus the attached store's identity.
+
+    The store participates so a storeless hit can never shadow a store-backed
+    request (or vice versa) — the same aliasing class the config-subset keys
+    of PR 2 suffered from.
+    """
+    return (config, None if store is None else str(store.root.resolve()))
+
+
+def build_context(
+    config: Optional[ScenarioConfig] = None,
+    use_cache: bool = True,
+    store: Optional["ArtifactStore"] = None,
+) -> ExperimentContext:
     """Build (or fetch from cache) the experiment context for a configuration.
 
     The cache key is the full (frozen, hashable) :class:`ScenarioConfig`, so
     scenarios differing in *any* field — outage period, workload parameters,
     scanner settings — get distinct contexts instead of silently aliasing.
+    The cache is a small LRU (:data:`CONTEXT_CACHE_MAX_ENTRIES`); callers that
+    iterate many scenarios should pass ``use_cache=False`` and, for warm
+    starts across runs, an :class:`~repro.store.artifacts.ArtifactStore`.
     """
     config = config or ScenarioConfig()
-    cache_key = config
-    if use_cache and cache_key in _CONTEXT_CACHE:
-        return _CONTEXT_CACHE[cache_key]
+    cache_key = _cache_key(config, store)
+    if use_cache:
+        cached = _CONTEXT_CACHE.get(cache_key)
+        if cached is not None:
+            _CONTEXT_CACHE.move_to_end(cache_key)
+            return cached
     world = build_world(config)
-    pipeline = DiscoveryPipeline(world)
-    result = pipeline.run()
-    context = ExperimentContext(
-        config=config,
-        world=world,
-        pipeline=pipeline,
-        result=result,
-        anonymization=AnonymizationMap.build(),
-    )
+    world.artifact_store = store
+    context = ExperimentContext(config=config, world=world, store=store)
     if use_cache:
         _CONTEXT_CACHE[cache_key] = context
+        while len(_CONTEXT_CACHE) > CONTEXT_CACHE_MAX_ENTRIES:
+            _CONTEXT_CACHE.popitem(last=False)
     return context

@@ -336,7 +336,13 @@ class FlowTable:
             sampled=bool(numeric["sampled"][index]),
         )
 
-    def __getitem__(self, index: int) -> FlowRecord:
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[FlowRecord, "FlowTable"]:
+        """Sequence indexing: an int (negative allowed) materializes one record,
+        a slice returns a new :class:`FlowTable` sharing the value pools."""
+        if isinstance(index, slice):
+            return self.select(range(*index.indices(self._length)))
         return self.record_at(index)
 
     def __iter__(self) -> Iterator[FlowRecord]:

@@ -13,7 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from datetime import date, timedelta
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only (the store is an optional add-on)
+    from repro.store.artifacts import ArtifactStore
 
 from repro.core.providers import (
     CLOUD_AKAMAI_ORGS,
@@ -109,6 +112,9 @@ class World:
     iot_domains: Dict[str, List[str]]
     _flow_cache: Dict[str, list] = field(default_factory=dict)
     _table_cache: Dict[str, FlowTable] = field(default_factory=dict)
+    #: Optional persistent cache; when set, generated period tables warm-start
+    #: from disk (see :mod:`repro.store.artifacts`).
+    artifact_store: Optional["ArtifactStore"] = None
 
     # -- ground-truth views -----------------------------------------------------------
 
@@ -186,11 +192,24 @@ class World:
         period = period or self.config.study_period
         cache_key = f"{period.name}:{period.start}:{period.end}:{include_scanners}"
         if cache_key not in self._table_cache:
-            generator = self.workload_generator()
-            self._table_cache[cache_key] = generator.generate_period_table(
-                period, include_scanners=include_scanners
-            )
+            self._table_cache[cache_key] = self._load_or_generate_table(period, include_scanners)
         return self._table_cache[cache_key]
+
+    def _load_or_generate_table(self, period: StudyPeriod, include_scanners: bool) -> FlowTable:
+        """Warm-start a period table from the artifact store, else generate it."""
+        store = self.artifact_store
+        if store is None:
+            generator = self.workload_generator()
+            return generator.generate_period_table(period, include_scanners=include_scanners)
+        from repro.store.artifacts import generated_stage
+
+        stage = generated_stage(include_scanners)
+        table = store.get_table(self.config, period, stage)
+        if table is None:
+            generator = self.workload_generator()
+            table = generator.generate_period_table(period, include_scanners=include_scanners)
+            store.put_table(self.config, period, stage, table)
+        return table
 
     def flows(self, period: Optional[StudyPeriod] = None, include_scanners: bool = True) -> list:
         """Return (and cache) the flow records of a study period."""

@@ -1,0 +1,42 @@
+"""Persistent artifact layer: columnar serialization + content-addressed cache.
+
+The store turns the in-memory world-build memoization into something durable:
+
+* :mod:`repro.store.codec` — a binary columnar serialization format for
+  :class:`~repro.flows.flowtable.FlowTable` (tagged value pools + raw typed
+  ``array`` column bytes, no numpy, no pickle).
+* :mod:`repro.store.artifacts` — :class:`ArtifactStore`, a content-addressed
+  on-disk cache keyed by the SHA-256 of the frozen scenario configuration, the
+  study period, the pipeline stage, and a format-version tag.  ``World`` and
+  ``ExperimentContext`` consult it so repeated runs (CLI invocations,
+  benchmark sessions, sweep workers) warm-start from disk instead of
+  regenerating a week of flows.
+"""
+
+from repro.store.codec import (
+    CODEC_VERSION,
+    StoreFormatError,
+    dump_table,
+    dumps_table,
+    load_table,
+    loads_table,
+)
+from repro.store.artifacts import (
+    ArtifactEntry,
+    ArtifactStore,
+    config_digest,
+    default_store_root,
+)
+
+__all__ = [
+    "CODEC_VERSION",
+    "StoreFormatError",
+    "dump_table",
+    "dumps_table",
+    "load_table",
+    "loads_table",
+    "ArtifactEntry",
+    "ArtifactStore",
+    "config_digest",
+    "default_store_root",
+]

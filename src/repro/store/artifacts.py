@@ -1,0 +1,248 @@
+"""Content-addressed on-disk cache of serialized flow tables.
+
+An :class:`ArtifactStore` maps a *scenario fingerprint* — the SHA-256 of the
+frozen :class:`~repro.simulation.config.ScenarioConfig` repr, the study-period
+dates, the pipeline stage, and a format-version tag — to a serialized
+:class:`~repro.flows.flowtable.FlowTable` on disk.  Because the fingerprint
+covers every scenario knob, two configurations differing in any field hash to
+different artifacts, and a codec or fingerprint version bump orphans (never
+mis-reads) old files.
+
+Three stages are cached along the generation path:
+
+* ``generated:*`` — the raw workload of a period (``World.flows_table``),
+* ``raw-export`` — the packet-sampled NetFlow export (``ExperimentContext.raw_table``),
+* ``clean:<threshold>`` — the scanner-excluded baseline (``ExperimentContext.clean_table``).
+
+Writes are atomic (temp file + ``os.replace``) so concurrent sweep workers can
+share one store directory; a corrupt or truncated artifact is treated as a
+cache miss and removed.  Every payload file has a JSON sidecar with
+human-readable metadata, which powers ``iot-backend-repro cache ls``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.flows.flowtable import FlowTable
+from repro.simulation.clock import StudyPeriod
+from repro.simulation.config import ScenarioConfig
+from repro.store.codec import CODEC_VERSION, StoreFormatError, dump_table, load_table
+
+#: Bump when the fingerprint recipe itself changes.
+FINGERPRINT_VERSION = 1
+
+_PAYLOAD_SUFFIX = ".rft"
+_META_SUFFIX = ".json"
+
+#: Environment variable overriding the default store location.
+STORE_ENV_VAR = "IOT_REPRO_STORE"
+
+#: Stage tags of the cached steps along the generation path.
+STAGE_GENERATED_ALL = "generated:with-scanners"
+STAGE_GENERATED_DEVICES = "generated:devices-only"
+STAGE_RAW_EXPORT = "raw-export"
+
+
+def generated_stage(include_scanners: bool) -> str:
+    """Stage tag of a generated workload table."""
+    return STAGE_GENERATED_ALL if include_scanners else STAGE_GENERATED_DEVICES
+
+
+def clean_stage(threshold: int) -> str:
+    """Stage tag of a scanner-excluded table at one exclusion threshold."""
+    return f"clean:{threshold}"
+
+
+def default_store_root() -> Path:
+    """The default store directory (``$IOT_REPRO_STORE`` or ``~/.cache/iot-backend-repro``)."""
+    override = os.environ.get(STORE_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "iot-backend-repro"
+
+
+def config_digest(config: ScenarioConfig) -> str:
+    """A stable SHA-256 digest of a frozen scenario configuration."""
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()
+
+
+def scenario_fingerprint(config: ScenarioConfig, period: StudyPeriod, stage: str) -> str:
+    """The content address of one (config, period, stage) artifact.
+
+    Only the period *dates* participate: flows are a pure function of the
+    covered days, so two periods differing only in their display name share
+    one artifact.
+    """
+    payload = "|".join(
+        (
+            f"fingerprint={FINGERPRINT_VERSION}",
+            f"codec={CODEC_VERSION}",
+            f"stage={stage}",
+            f"period={period.start.isoformat()}..{period.end.isoformat()}",
+            f"config={config!r}",
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ArtifactEntry:
+    """Metadata of one stored artifact (from its JSON sidecar)."""
+
+    digest: str
+    stage: str
+    period: str
+    rows: int
+    payload_bytes: int
+    created: float
+    config: str
+
+    @property
+    def age_seconds(self) -> float:
+        return max(0.0, time.time() - self.created)
+
+
+class ArtifactStore:
+    """A content-addressed directory of serialized flow tables."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- addressing --------------------------------------------------------------
+
+    def _payload_path(self, digest: str) -> Path:
+        return self.root / f"{digest}{_PAYLOAD_SUFFIX}"
+
+    def _meta_path(self, digest: str) -> Path:
+        return self.root / f"{digest}{_META_SUFFIX}"
+
+    # -- read / write ------------------------------------------------------------
+
+    def get_table(
+        self, config: ScenarioConfig, period: StudyPeriod, stage: str
+    ) -> Optional[FlowTable]:
+        """Load the artifact of (config, period, stage), or None on a miss.
+
+        A corrupt payload (partial write of a crashed process, codec version
+        skew) counts as a miss and is deleted so the slot can be rebuilt.
+        """
+        digest = scenario_fingerprint(config, period, stage)
+        path = self._payload_path(digest)
+        try:
+            with path.open("rb") as stream:
+                return load_table(stream)
+        except FileNotFoundError:
+            return None
+        except (StoreFormatError, OSError):
+            self._discard(digest)
+            return None
+
+    def put_table(
+        self, config: ScenarioConfig, period: StudyPeriod, stage: str, table: FlowTable
+    ) -> Path:
+        """Persist a table under its scenario fingerprint (atomic)."""
+        digest = scenario_fingerprint(config, period, stage)
+        path = self._payload_path(digest)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            with tmp.open("wb") as stream:
+                dump_table(table, stream)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        meta = {
+            "digest": digest,
+            "stage": stage,
+            "period": f"{period.start.isoformat()}..{period.end.isoformat()}",
+            "rows": len(table),
+            "payload_bytes": path.stat().st_size,
+            "created": time.time(),
+            "config": repr(config),
+            "fingerprint_version": FINGERPRINT_VERSION,
+            "codec_version": CODEC_VERSION,
+        }
+        meta_tmp = self._meta_path(digest).with_name(f"{digest}{_META_SUFFIX}.tmp-{os.getpid()}")
+        try:
+            meta_tmp.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+            os.replace(meta_tmp, self._meta_path(digest))
+        finally:
+            if meta_tmp.exists():
+                meta_tmp.unlink()
+        return path
+
+    def _discard(self, digest: str) -> int:
+        """Remove one artifact (payload + sidecar); return the bytes freed."""
+        freed = 0
+        for path in (self._payload_path(digest), self._meta_path(digest)):
+            try:
+                freed += path.stat().st_size
+                path.unlink()
+            except OSError:
+                pass
+        return freed
+
+    # -- inspection / maintenance ------------------------------------------------
+
+    def entries(self) -> List[ArtifactEntry]:
+        """All stored artifacts, oldest first."""
+        entries: List[ArtifactEntry] = []
+        for meta_path in sorted(self.root.glob(f"*{_META_SUFFIX}")):
+            try:
+                meta = json.loads(meta_path.read_text())
+                entry = ArtifactEntry(
+                    digest=str(meta["digest"]),
+                    stage=str(meta["stage"]),
+                    period=str(meta["period"]),
+                    rows=int(meta["rows"]),
+                    payload_bytes=int(meta["payload_bytes"]),
+                    created=float(meta["created"]),
+                    config=str(meta["config"]),
+                )
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                continue
+            if self._payload_path(entry.digest).exists():
+                entries.append(entry)
+        entries.sort(key=lambda entry: (entry.created, entry.digest))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Total payload bytes currently stored."""
+        return sum(entry.payload_bytes for entry in self.entries())
+
+    def prune(self, older_than_seconds: Optional[float] = None) -> Tuple[int, int]:
+        """Delete artifacts (all of them, or only those older than a cutoff).
+
+        Returns ``(artifacts_removed, bytes_freed)``.  Stray files that lost
+        their sidecar (or vice versa) are cleaned up as well when pruning
+        everything.
+        """
+        removed = 0
+        freed = 0
+        for entry in self.entries():
+            if older_than_seconds is not None and entry.age_seconds < older_than_seconds:
+                continue
+            freed += self._discard(entry.digest)
+            removed += 1
+        if older_than_seconds is None:
+            for path in self.root.glob(f"*{_PAYLOAD_SUFFIX}"):
+                try:
+                    freed += path.stat().st_size
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for path in self.root.glob(f"*{_META_SUFFIX}"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return removed, freed

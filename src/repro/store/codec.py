@@ -1,0 +1,256 @@
+"""Binary columnar serialization for :class:`~repro.flows.flowtable.FlowTable`.
+
+The format mirrors the table's in-memory layout, so serialization is a
+straight dump of each column and deserialization rebuilds the table without a
+per-row decode step:
+
+* a fixed header (magic, codec version, byte order, row count),
+* one block per dictionary-encoded column: the value pool as tagged scalars
+  (str / int / float / bool / date / datetime / None) followed by the raw
+  bytes of the ``array('i')`` code column,
+* one block per numeric column: typecode plus the raw ``array`` bytes.
+
+Raw column bytes round-trip bit-exactly (floats keep their bit pattern), so
+``loads_table(dumps_table(t)).to_records() == t.to_records()`` holds for any
+table.  The byte order of the writing host is recorded in the header and the
+arrays are byte-swapped on load when it differs, so artifacts are portable.
+No pickle is involved anywhere: a corrupted or truncated file raises
+:class:`StoreFormatError` instead of executing anything.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import sys
+from array import array
+from datetime import date, datetime
+from typing import BinaryIO, Callable, Dict, List
+
+from repro.flows.flowtable import CATEGORICAL_COLUMNS, NUMERIC_COLUMNS, FlowTable
+
+#: Bump on any incompatible change to the byte layout below.
+CODEC_VERSION = 1
+
+_MAGIC = b"RFTB"
+_LITTLE = 0
+_BIG = 1
+_LOCAL_ORDER = _LITTLE if sys.byteorder == "little" else _BIG
+
+# Tagged scalar encoding for pool values.
+_TAG_NONE = 0
+_TAG_STR = 1
+_TAG_INT = 2
+_TAG_FLOAT = 3
+_TAG_BOOL = 4
+_TAG_DATETIME = 5
+_TAG_DATE = 6
+
+
+class StoreFormatError(ValueError):
+    """Raised when a serialized table is corrupt, truncated, or incompatible."""
+
+
+def _write_str(write: Callable[[bytes], object], text: str) -> None:
+    data = text.encode("utf-8")
+    write(struct.pack("<I", len(data)))
+    write(data)
+
+
+def _write_value(write: Callable[[bytes], object], value: object) -> None:
+    if value is None:
+        write(struct.pack("<B", _TAG_NONE))
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        write(struct.pack("<BB", _TAG_BOOL, 1 if value else 0))
+    elif isinstance(value, int):
+        write(struct.pack("<Bq", _TAG_INT, value))
+    elif isinstance(value, float):
+        write(struct.pack("<Bd", _TAG_FLOAT, value))
+    elif isinstance(value, datetime):  # before date: datetime is a date subclass
+        write(struct.pack("<B", _TAG_DATETIME))
+        _write_str(write, value.isoformat())
+    elif isinstance(value, date):
+        write(struct.pack("<B", _TAG_DATE))
+        _write_str(write, value.isoformat())
+    elif isinstance(value, str):
+        write(struct.pack("<B", _TAG_STR))
+        _write_str(write, value)
+    else:
+        raise StoreFormatError(f"unsupported pool value type {type(value).__name__!r}")
+
+
+def _write_array(write: Callable[[bytes], object], column: array) -> None:
+    payload = column.tobytes()
+    write(struct.pack("<cBQ", column.typecode.encode("ascii"), column.itemsize, len(payload)))
+    write(payload)
+
+
+def dump_table(table: FlowTable, stream: BinaryIO) -> None:
+    """Serialize a table to a binary stream."""
+    write = stream.write
+    write(_MAGIC)
+    write(struct.pack("<BBQ", CODEC_VERSION, _LOCAL_ORDER, len(table)))
+    write(struct.pack("<H", len(CATEGORICAL_COLUMNS)))
+    for name in CATEGORICAL_COLUMNS:
+        _write_str(write, name)
+        pool = table.pool(name)
+        write(struct.pack("<I", len(pool)))
+        for value in pool:
+            _write_value(write, value)
+        _write_array(write, table.codes(name))
+    write(struct.pack("<H", len(NUMERIC_COLUMNS)))
+    for name, _typecode in NUMERIC_COLUMNS:
+        _write_str(write, name)
+        _write_array(write, table.numeric(name))
+
+
+def dumps_table(table: FlowTable) -> bytes:
+    """Serialize a table to bytes."""
+    buffer = io.BytesIO()
+    dump_table(table, buffer)
+    return buffer.getvalue()
+
+
+class _Reader:
+    """Bounds-checked cursor over the serialized byte stream."""
+
+    __slots__ = ("_stream",)
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+
+    def take(self, count: int) -> bytes:
+        data = self._stream.read(count)
+        if len(data) != count:
+            raise StoreFormatError(
+                f"truncated table: wanted {count} bytes, got {len(data)}"
+            )
+        return data
+
+    def unpack(self, fmt: str) -> tuple:
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+    def read_str(self) -> str:
+        (length,) = self.unpack("<I")
+        try:
+            return self.take(length).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise StoreFormatError(f"corrupt string field: {error}") from None
+
+    def read_value(self) -> object:
+        (tag,) = self.unpack("<B")
+        if tag == _TAG_NONE:
+            return None
+        if tag == _TAG_BOOL:
+            return bool(self.unpack("<B")[0])
+        if tag == _TAG_INT:
+            return self.unpack("<q")[0]
+        if tag == _TAG_FLOAT:
+            return self.unpack("<d")[0]
+        if tag == _TAG_DATETIME:
+            return datetime.fromisoformat(self.read_str())
+        if tag == _TAG_DATE:
+            return date.fromisoformat(self.read_str())
+        if tag == _TAG_STR:
+            return self.read_str()
+        raise StoreFormatError(f"unknown pool value tag {tag}")
+
+    def read_array(self, byte_order: int) -> array:
+        typecode_raw, itemsize, nbytes = self.unpack("<cBQ")
+        typecode = typecode_raw.decode("ascii")
+        try:
+            column = array(typecode)
+        except ValueError as error:
+            raise StoreFormatError(f"bad array typecode {typecode!r}") from None
+        if column.itemsize != itemsize:
+            raise StoreFormatError(
+                f"array {typecode!r} itemsize mismatch: stored {itemsize}, "
+                f"local {column.itemsize}"
+            )
+        if nbytes % itemsize:
+            raise StoreFormatError(
+                f"array byte length {nbytes} is not a multiple of itemsize {itemsize}"
+            )
+        column.frombytes(self.take(nbytes))
+        if byte_order != _LOCAL_ORDER:
+            column.byteswap()
+        return column
+
+
+def load_table(stream: BinaryIO) -> FlowTable:
+    """Deserialize a table written by :func:`dump_table`."""
+    reader = _Reader(stream)
+    if reader.take(len(_MAGIC)) != _MAGIC:
+        raise StoreFormatError("not a serialized FlowTable (bad magic)")
+    version, byte_order, length = reader.unpack("<BBQ")
+    if version != CODEC_VERSION:
+        raise StoreFormatError(
+            f"unsupported codec version {version} (expected {CODEC_VERSION})"
+        )
+    if byte_order not in (_LITTLE, _BIG):
+        raise StoreFormatError(f"bad byte-order flag {byte_order}")
+
+    (n_categorical,) = reader.unpack("<H")
+    if n_categorical != len(CATEGORICAL_COLUMNS):
+        raise StoreFormatError(
+            f"categorical column count mismatch: stored {n_categorical}, "
+            f"schema has {len(CATEGORICAL_COLUMNS)}"
+        )
+    table = FlowTable()
+    codes: Dict[str, array] = {}
+    for expected in CATEGORICAL_COLUMNS:
+        name = reader.read_str()
+        if name != expected:
+            raise StoreFormatError(
+                f"categorical column order mismatch: stored {name!r}, expected {expected!r}"
+            )
+        (pool_size,) = reader.unpack("<I")
+        pool: List[object] = [reader.read_value() for _ in range(pool_size)]
+        column = reader.read_array(byte_order)
+        if len(column) != length:
+            raise StoreFormatError(
+                f"column {name!r}: {len(column)} codes for {length} rows"
+            )
+        if column and not all(0 <= code < pool_size for code in column):
+            raise StoreFormatError(f"column {name!r}: code out of pool range")
+        # Re-interning the pool in order reproduces the original codes, so the
+        # code column can be adopted verbatim.  Re-interning deduplicates, so
+        # a corrupt pool with repeated values would otherwise shrink and leave
+        # codes dangling past its end — reject it here, not at first access.
+        for value in pool:
+            table.encode_value(name, value)
+        if len(table.pool(name)) != pool_size:
+            raise StoreFormatError(f"column {name!r}: pool contains duplicate values")
+        codes[name] = column
+
+    (n_numeric,) = reader.unpack("<H")
+    if n_numeric != len(NUMERIC_COLUMNS):
+        raise StoreFormatError(
+            f"numeric column count mismatch: stored {n_numeric}, "
+            f"schema has {len(NUMERIC_COLUMNS)}"
+        )
+    numeric: Dict[str, array] = {}
+    for expected, typecode in NUMERIC_COLUMNS:
+        name = reader.read_str()
+        if name != expected:
+            raise StoreFormatError(
+                f"numeric column order mismatch: stored {name!r}, expected {expected!r}"
+            )
+        column = reader.read_array(byte_order)
+        if column.typecode != typecode:
+            raise StoreFormatError(
+                f"column {name!r}: stored typecode {column.typecode!r}, "
+                f"schema expects {typecode!r}"
+            )
+        if len(column) != length:
+            raise StoreFormatError(
+                f"column {name!r}: {len(column)} values for {length} rows"
+            )
+        numeric[name] = column
+    table.append_columns(length, codes, numeric)
+    return table
+
+
+def loads_table(data: bytes) -> FlowTable:
+    """Deserialize a table from bytes."""
+    return load_table(io.BytesIO(data))

@@ -1,0 +1,30 @@
+"""Scenario sweeps: declarative grids of configurations run in parallel.
+
+The paper's analyses are single-scenario snapshots; this package turns them
+into campaigns:
+
+* :mod:`repro.sweeps.grid` — :class:`ScenarioGrid` expands axes over
+  :class:`~repro.simulation.config.ScenarioConfig` fields into frozen
+  configurations, each with a stable scenario id.
+* :mod:`repro.sweeps.metrics` — small named metric functions
+  (``context -> {name: scalar}``) evaluated per scenario.
+* :mod:`repro.sweeps.runner` — :class:`SweepRunner` executes the grid across
+  multiprocess workers (per-scenario generation is independent and fully
+  seeded, so parallel results are bit-identical to serial ones), writes a
+  JSONL results ledger, and pivots cross-scenario summary tables such as
+  outage impact vs. ``sampling_ratio`` × ``scale``.
+"""
+
+from repro.sweeps.grid import ScenarioGrid, ScenarioSpec
+from repro.sweeps.metrics import SWEEP_METRICS, available_metrics
+from repro.sweeps.runner import ScenarioOutcome, SweepResult, SweepRunner
+
+__all__ = [
+    "ScenarioGrid",
+    "ScenarioSpec",
+    "SWEEP_METRICS",
+    "available_metrics",
+    "ScenarioOutcome",
+    "SweepResult",
+    "SweepRunner",
+]

@@ -1,0 +1,134 @@
+"""Declarative scenario grids.
+
+A :class:`ScenarioGrid` is a base :class:`~repro.simulation.config.ScenarioConfig`
+plus *axes*: an ordered mapping of config field names to the values each field
+sweeps over.  Expanding the grid takes the cartesian product of the axes (the
+first axis varies slowest) and applies each combination with
+``config.with_overrides``, so every grid point is itself a frozen, hashable,
+fully validated configuration.
+
+Axes can also be parsed from ``field=v1,v2,...`` strings (the CLI's ``--axis``
+syntax); values are converted using the config field's own type annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from itertools import product
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple, get_type_hints
+
+from repro.simulation.config import ScenarioConfig
+
+#: Field name -> resolved annotation of ScenarioConfig (annotations are strings
+#: under ``from __future__ import annotations``, so resolve them once).
+_CONFIG_FIELD_TYPES = get_type_hints(ScenarioConfig)
+_CONFIG_FIELD_NAMES = tuple(field.name for field in fields(ScenarioConfig))
+
+_TRUE_WORDS = {"1", "true", "yes", "on"}
+_FALSE_WORDS = {"0", "false", "no", "off"}
+
+
+def _convert_axis_value(field_name: str, raw: str) -> object:
+    """Convert one ``--axis`` string value using the config field's type."""
+    annotation = _CONFIG_FIELD_TYPES[field_name]
+    text = raw.strip()
+    if annotation is bool:
+        lowered = text.lower()
+        if lowered in _TRUE_WORDS:
+            return True
+        if lowered in _FALSE_WORDS:
+            return False
+        raise ValueError(f"axis {field_name!r}: {raw!r} is not a boolean")
+    if annotation is int:
+        return int(text)
+    if annotation is float:
+        return float(text)
+    raise ValueError(
+        f"axis {field_name!r} has non-scalar type {annotation!r}; "
+        "set it on the base config instead"
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One grid point: a stable id, the axis values that produced it, the config."""
+
+    scenario_id: str
+    axes: Tuple[Tuple[str, object], ...]
+    config: ScenarioConfig
+
+    @property
+    def axes_dict(self) -> Dict[str, object]:
+        return dict(self.axes)
+
+
+class ScenarioGrid:
+    """Axes over :class:`ScenarioConfig` fields expanded to frozen configs."""
+
+    def __init__(self, base: ScenarioConfig, axes: Mapping[str, Sequence[object]]) -> None:
+        self.base = base
+        validated: List[Tuple[str, Tuple[object, ...]]] = []
+        for name, values in axes.items():
+            if name not in _CONFIG_FIELD_NAMES:
+                raise ValueError(
+                    f"unknown scenario axis {name!r}; valid fields: "
+                    f"{', '.join(_CONFIG_FIELD_NAMES)}"
+                )
+            values = tuple(values)
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+            if len(set(map(repr, values))) != len(values):
+                raise ValueError(f"axis {name!r} has duplicate values")
+            validated.append((name, values))
+        if not validated:
+            raise ValueError("a scenario grid needs at least one axis")
+        self.axes: Tuple[Tuple[str, Tuple[object, ...]], ...] = tuple(validated)
+
+    @classmethod
+    def from_strings(cls, base: ScenarioConfig, axis_specs: Sequence[str]) -> "ScenarioGrid":
+        """Parse ``field=v1,v2,...`` axis strings (the CLI ``--axis`` syntax)."""
+        axes: Dict[str, Tuple[object, ...]] = {}
+        for spec in axis_specs:
+            name, separator, values_text = spec.partition("=")
+            name = name.strip()
+            if not separator or not name:
+                raise ValueError(f"malformed axis {spec!r}; expected field=v1,v2,...")
+            if name in axes:
+                raise ValueError(f"axis {name!r} given more than once")
+            if name not in _CONFIG_FIELD_NAMES:
+                raise ValueError(
+                    f"unknown scenario axis {name!r}; valid fields: "
+                    f"{', '.join(_CONFIG_FIELD_NAMES)}"
+                )
+            values = tuple(
+                _convert_axis_value(name, raw)
+                for raw in values_text.split(",")
+                if raw.strip()
+            )
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+            axes[name] = values
+        return cls(base, axes)
+
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _values in self.axes)
+
+    def __len__(self) -> int:
+        count = 1
+        for _name, values in self.axes:
+            count *= len(values)
+        return count
+
+    def specs(self) -> List[ScenarioSpec]:
+        """Expand the grid, first axis varying slowest."""
+        return list(self)
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        names = self.axis_names
+        for combination in product(*(values for _name, values in self.axes)):
+            axis_values = tuple(zip(names, combination))
+            overrides = dict(axis_values)
+            config = self.base.with_overrides(**overrides)
+            scenario_id = ",".join(f"{name}={value}" for name, value in axis_values)
+            yield ScenarioSpec(scenario_id=scenario_id, axes=axis_values, config=config)

@@ -1,0 +1,78 @@
+"""Per-scenario sweep metrics.
+
+A metric is a named function ``ExperimentContext -> {key: scalar}``; a sweep
+evaluates the selected metrics on every grid point and the union of their
+outputs becomes the scenario's result row in the ledger.  Metrics return only
+JSON-scalar values so ledger rows round-trip losslessly (Python's JSON float
+encoding uses ``repr``, which is exact for doubles) — that is what makes the
+serial-vs-parallel bit-identity guarantee testable end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Sequence
+
+from repro.experiments.context import ExperimentContext
+
+MetricFn = Callable[[ExperimentContext], Dict[str, object]]
+
+
+def traffic_metrics(context: ExperimentContext) -> Dict[str, object]:
+    """Volume/visibility summary of the scanner-cleaned main study week."""
+    table = context.clean_table()
+    return {
+        "clean_flows": len(table),
+        "bytes_down": table.total("bytes_down"),
+        "bytes_up": table.total("bytes_up"),
+        "distinct_server_ips": len(table.distinct("server_ip")),
+        "active_subscriber_lines": len(table.distinct("subscriber_id")),
+        "scanner_lines_excluded": len(context.scanner_lines()),
+    }
+
+
+def discovery_metrics(context: ExperimentContext) -> Dict[str, object]:
+    """Footprint of the discovery pipeline over the main study week."""
+    result = context.result
+    combined = result.combined
+    return {
+        "ipv4_discovered": len(combined.ipv4_ips()),
+        "ipv6_discovered": len(combined.ipv6_ips()),
+        "validation_shared_ips": result.validation.shared_count(),
+    }
+
+
+def outage_metrics(context: ExperimentContext) -> Dict[str, object]:
+    """AWS us-east-1 outage impact on the affected provider (Figures 15-16)."""
+    from repro.experiments.disruption_experiments import fig15_fig16_outage
+
+    result = fig15_fig16_outage(context)
+    return {
+        "outage_traffic_drop_us_east": result.traffic_drop_us_east(),
+        "outage_traffic_drop_eu": result.traffic_drop_eu(),
+        "outage_line_drop_us_east": result.line_drop_us_east(),
+    }
+
+
+#: Metric registry; ``SweepRunner`` resolves metric names here.
+SWEEP_METRICS: Mapping[str, MetricFn] = {
+    "traffic": traffic_metrics,
+    "discovery": discovery_metrics,
+    "outage": outage_metrics,
+}
+
+
+def available_metrics() -> Sequence[str]:
+    """The metric names a sweep can request."""
+    return tuple(sorted(SWEEP_METRICS))
+
+
+def resolve_metrics(names: Sequence[str]) -> Dict[str, MetricFn]:
+    """Map metric names to functions, rejecting unknown names early."""
+    resolved: Dict[str, MetricFn] = {}
+    for name in names:
+        if name not in SWEEP_METRICS:
+            raise ValueError(
+                f"unknown sweep metric {name!r}; available: {', '.join(available_metrics())}"
+            )
+        resolved[name] = SWEEP_METRICS[name]
+    return resolved

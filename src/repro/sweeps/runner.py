@@ -1,0 +1,258 @@
+"""Multiprocess sweep execution with a JSONL results ledger.
+
+``SweepRunner`` walks a :class:`~repro.sweeps.grid.ScenarioGrid` and evaluates
+the selected metrics on every grid point.  Scenarios are completely
+independent — each worker builds its own world from the frozen config, and
+every random draw comes from named seeded streams — so executing them in a
+``multiprocessing`` pool produces bit-identical per-scenario results to a
+serial run; only wall-clock changes.  Workers bypass the in-process context
+LRU (``use_cache=False``) and rely on the shared on-disk
+:class:`~repro.store.artifacts.ArtifactStore` instead, which both deduplicates
+work across repeated sweeps and keeps worker memory flat.
+
+The ledger is one JSON object per line (scenario id, axis values, config
+digest, metrics, timing, error) so campaigns can be appended to, grepped, and
+diffed; :meth:`SweepResult.pivot` aggregates ledger rows into cross-scenario
+summary tables (e.g. outage impact vs. ``sampling_ratio`` × ``scale``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.report import render_table
+from repro.simulation.config import ScenarioConfig
+from repro.sweeps.grid import ScenarioGrid, ScenarioSpec
+from repro.sweeps.metrics import resolve_metrics
+
+#: Ledger schema version, recorded in every row.
+LEDGER_SCHEMA = 1
+
+#: One scenario of work shipped to a pool worker (must stay picklable).
+_Payload = Tuple[str, Tuple[Tuple[str, object], ...], ScenarioConfig, Tuple[str, ...], Optional[str]]
+
+
+@dataclass
+class ScenarioOutcome:
+    """The result of one scenario: metrics on success, an error string on failure."""
+
+    scenario_id: str
+    axes: Dict[str, object]
+    config_digest: str
+    metrics: Dict[str, object]
+    elapsed_seconds: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _execute_scenario(payload: _Payload) -> ScenarioOutcome:
+    """Run one scenario (module-level so multiprocessing can pickle it)."""
+    from repro.experiments.context import build_context
+    from repro.store.artifacts import ArtifactStore, config_digest
+
+    scenario_id, axes, config, metric_names, store_root = payload
+    store = ArtifactStore(store_root) if store_root is not None else None
+    start = time.perf_counter()
+    metrics: Dict[str, object] = {}
+    error: Optional[str] = None
+    try:
+        metric_fns = resolve_metrics(metric_names)
+        context = build_context(config, use_cache=False, store=store)
+        for fn in metric_fns.values():
+            metrics.update(fn(context))
+    except Exception as exc:  # ledger rows must exist even for failed scenarios
+        metrics = {}
+        error = f"{type(exc).__name__}: {exc}"
+    return ScenarioOutcome(
+        scenario_id=scenario_id,
+        axes=dict(axes),
+        config_digest=config_digest(config),
+        metrics=metrics,
+        elapsed_seconds=time.perf_counter() - start,
+        error=error,
+    )
+
+
+class SweepResult:
+    """Ordered scenario outcomes plus aggregation and ledger I/O."""
+
+    def __init__(self, outcomes: Sequence[ScenarioOutcome], axis_names: Sequence[str]) -> None:
+        self.outcomes = list(outcomes)
+        self.axis_names = tuple(axis_names)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def failures(self) -> List[ScenarioOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def metric_names(self) -> List[str]:
+        names: List[str] = []
+        for outcome in self.outcomes:
+            for key in outcome.metrics:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    # -- ledger ------------------------------------------------------------------
+
+    def ledger_rows(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "schema": LEDGER_SCHEMA,
+                "scenario_id": outcome.scenario_id,
+                "axes": outcome.axes,
+                "config_digest": outcome.config_digest,
+                "metrics": outcome.metrics,
+                "elapsed_seconds": outcome.elapsed_seconds,
+                "error": outcome.error,
+            }
+            for outcome in self.outcomes
+        ]
+
+    def write_ledger(self, path: Union[str, Path]) -> Path:
+        """Write one JSON object per scenario (JSONL)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as stream:
+            for row in self.ledger_rows():
+                stream.write(json.dumps(row, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def read_ledger(cls, path: Union[str, Path]) -> "SweepResult":
+        """Rebuild a result from a JSONL ledger."""
+        outcomes: List[ScenarioOutcome] = []
+        axis_names: List[str] = []
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            outcomes.append(
+                ScenarioOutcome(
+                    scenario_id=row["scenario_id"],
+                    axes=dict(row["axes"]),
+                    config_digest=row["config_digest"],
+                    metrics=dict(row["metrics"]),
+                    elapsed_seconds=float(row["elapsed_seconds"]),
+                    error=row.get("error"),
+                )
+            )
+            for name in outcomes[-1].axes:
+                if name not in axis_names:
+                    axis_names.append(name)
+        return cls(outcomes, axis_names)
+
+    # -- aggregation -------------------------------------------------------------
+
+    def pivot(
+        self,
+        metric: str,
+        row_axis: str,
+        col_axis: Optional[str] = None,
+    ) -> List[List[object]]:
+        """Cross-scenario summary: ``metric`` per ``row_axis`` (× ``col_axis``).
+
+        Returns header + rows ready for :func:`~repro.core.report.render_table`.
+        Cells average over every scenario sharing the (row, col) combination,
+        so extra axes collapse to their mean.
+        """
+        for axis in (row_axis, col_axis):
+            if axis is not None and axis not in self.axis_names:
+                raise ValueError(f"unknown axis {axis!r}; sweep axes: {', '.join(self.axis_names)}")
+        row_values: List[object] = []
+        col_values: List[object] = []
+        cells: Dict[Tuple[object, object], List[float]] = {}
+        for outcome in self.outcomes:
+            if not outcome.ok or metric not in outcome.metrics:
+                continue
+            row_key = outcome.axes[row_axis]
+            col_key = outcome.axes[col_axis] if col_axis is not None else metric
+            if row_key not in row_values:
+                row_values.append(row_key)
+            if col_key not in col_values:
+                col_values.append(col_key)
+            cells.setdefault((row_key, col_key), []).append(float(outcome.metrics[metric]))
+        header = [row_axis] + [
+            f"{col_axis}={value}" if col_axis is not None else str(value)
+            for value in col_values
+        ]
+        rows: List[List[object]] = [header]
+        for row_key in row_values:
+            row: List[object] = [row_key]
+            for col_key in col_values:
+                samples = cells.get((row_key, col_key))
+                row.append(round(sum(samples) / len(samples), 6) if samples else "-")
+            rows.append(row)
+        return rows
+
+    def render_pivot(self, metric: str, row_axis: str, col_axis: Optional[str] = None) -> str:
+        """Render a pivot as a text table."""
+        table = self.pivot(metric, row_axis, col_axis)
+        title = f"{metric} vs. {row_axis}" + (f" x {col_axis}" if col_axis else "")
+        return render_table(table[0], table[1:], title=title)
+
+    def render_results(self) -> str:
+        """Render the per-scenario results table."""
+        metric_names = self.metric_names()
+        headers = ["scenario", *metric_names, "seconds", "status"]
+        rows: List[List[object]] = []
+        for outcome in self.outcomes:
+            row: List[object] = [outcome.scenario_id]
+            for name in metric_names:
+                value = outcome.metrics.get(name, "-")
+                row.append(round(value, 6) if isinstance(value, float) else value)
+            row.append(round(outcome.elapsed_seconds, 2))
+            row.append("ok" if outcome.ok else outcome.error)
+            rows.append(row)
+        return render_table(headers, rows, title=f"Sweep results ({len(self.outcomes)} scenarios)")
+
+
+class SweepRunner:
+    """Execute a scenario grid across multiprocess workers."""
+
+    def __init__(
+        self,
+        metrics: Sequence[str] = ("traffic",),
+        workers: int = 1,
+        store: Union[str, Path, None] = None,
+        ledger_path: Union[str, Path, None] = None,
+    ) -> None:
+        resolve_metrics(metrics)  # fail fast on unknown names
+        self.metrics = tuple(metrics)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.store_root = str(store) if store is not None else None
+        self.ledger_path = Path(ledger_path) if ledger_path is not None else None
+
+    def _payloads(self, specs: Sequence[ScenarioSpec]) -> List[_Payload]:
+        return [
+            (spec.scenario_id, spec.axes, spec.config, self.metrics, self.store_root)
+            for spec in specs
+        ]
+
+    def run(self, grid: ScenarioGrid) -> SweepResult:
+        """Run every grid point; outcomes keep grid order regardless of workers."""
+        specs = grid.specs()
+        payloads = self._payloads(specs)
+        workers = min(self.workers, len(payloads))
+        if workers <= 1:
+            outcomes = [_execute_scenario(payload) for payload in payloads]
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+            with context.Pool(processes=workers) as pool:
+                outcomes = pool.map(_execute_scenario, payloads)
+        result = SweepResult(outcomes, grid.axis_names)
+        if self.ledger_path is not None:
+            result.write_ledger(self.ledger_path)
+        return result

@@ -38,3 +38,116 @@ def test_main_discovery_summary(capsys):
     captured = capsys.readouterr()
     assert exit_code == 0
     assert "discovered IPv4 addresses" in captured.out
+
+
+def test_docstring_lists_every_registered_command():
+    """The module docstring must stay in sync with the command registry."""
+    import repro.cli as cli
+
+    for name in cli._COMMANDS:
+        assert f"iot-backend-repro {name}" in cli.__doc__, name
+    for name in ("sweep", "cache"):
+        assert f"iot-backend-repro {name}" in cli.__doc__, name
+
+
+def test_scale_zero_is_rejected_by_the_parser():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["table1", "--scale", "0"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["table1", "--scale", "-0.5"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["table1", "--subscriber-lines", "0"])
+
+
+def test_explicit_scenario_options_are_applied():
+    from repro.cli import _make_config
+
+    parser = build_parser()
+    args = parser.parse_args(["table1", "--small", "--scale", "0.5", "--subscriber-lines", "123"])
+    config = _make_config(args)
+    assert config.scale == 0.5
+    assert config.n_subscriber_lines == 123
+    # Omitted options keep the preset's values.
+    args = parser.parse_args(["table1", "--small"])
+    config = _make_config(args)
+    assert config.scale == 0.01
+
+
+def test_sweep_command_runs_a_grid(capsys, tmp_path):
+    ledger = tmp_path / "ledger.jsonl"
+    exit_code = main(
+        [
+            "sweep",
+            "--small",
+            "--subscriber-lines", "40",
+            "--axis", "sampling_ratio=1,4",
+            "--metrics", "traffic",
+            "--workers", "1",
+            "--ledger", str(ledger),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "Sweep results (2 scenarios)" in captured.out
+    assert "sampling_ratio=1" in captured.out
+    assert ledger.exists()
+    assert len(ledger.read_text().splitlines()) == 2
+
+
+def test_sweep_rejects_bad_axis(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--small", "--axis", "bogus_field=1,2"])
+
+
+def test_cache_ls_and_prune(capsys, tmp_path):
+    store = tmp_path / "store"
+    exit_code = main(["cache", "ls", "--store", str(store)])
+    assert exit_code == 0
+    assert "is empty" in capsys.readouterr().out
+
+    main(
+        [
+            "sweep",
+            "--small",
+            "--subscriber-lines", "40",
+            "--axis", "sampling_ratio=1,4",
+            "--workers", "1",
+            "--store", str(store),
+        ]
+    )
+    capsys.readouterr()
+    exit_code = main(["cache", "ls", "--store", str(store)])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "raw-export" in out
+
+    exit_code = main(["cache", "prune", "--store", str(store)])
+    assert exit_code == 0
+    assert "pruned" in capsys.readouterr().out
+    exit_code = main(["cache", "ls", "--store", str(store)])
+    assert "is empty" in capsys.readouterr().out
+
+
+def test_sweep_rejects_invalid_axis_value_as_parser_error(capsys):
+    """A value that parses but fails config validation is a clean parser error."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep", "--small", "--axis", "scale=-1"])
+    assert excinfo.value.code == 2
+    assert "scale must be positive" in capsys.readouterr().err
+
+
+def test_sweep_exits_nonzero_when_scenarios_fail(capsys, monkeypatch):
+    from repro.sweeps import metrics as metrics_module
+
+    def explode(context):
+        raise RuntimeError("boom")
+
+    monkeypatch.setitem(metrics_module.SWEEP_METRICS, "traffic", explode)
+    exit_code = main(
+        ["sweep", "--small", "--subscriber-lines", "40", "--axis", "sampling_ratio=1"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "FAILED scenarios" in out
+    assert "boom" in out

@@ -292,3 +292,39 @@ class TestTrafficAnalysisParity:
         down_table, up_table = traffic.per_subscriber_daily_volume(table, BASE_DAY, 2)
         assert down_list.values == pytest.approx(down_table.values)
         assert up_list.values == pytest.approx(up_table.values)
+
+
+class TestSequenceIndexing:
+    def test_negative_index_matches_python_list_semantics(self, records, table):
+        assert table[-1] == records[-1]
+        assert table[-len(records)] == records[0]
+
+    def test_negative_index_out_of_range_raises(self, table):
+        with pytest.raises(IndexError):
+            table[-(len(table) + 1)]
+        with pytest.raises(IndexError):
+            table[len(table)]
+
+    def test_slice_returns_flowtable(self, records, table):
+        window = table[10:60]
+        assert isinstance(window, FlowTable)
+        assert window.to_records() == records[10:60]
+        # Slices share the parent's value pools (cheap, like the filters).
+        assert window.pool("provider_key") is table.pool("provider_key")
+
+    def test_slice_with_step_and_negative_bounds(self, records, table):
+        assert table[::7].to_records() == records[::7]
+        assert table[-25:-5].to_records() == records[-25:-5]
+        assert table[50:10:-3].to_records() == records[50:10:-3]
+
+    def test_empty_and_degenerate_slices(self, records, table):
+        assert table[5:5].to_records() == []
+        assert table[1000:2000].to_records() == records[1000:2000]
+        assert len(table[:]) == len(records)
+
+    def test_sliced_table_is_fully_functional(self, records, table):
+        window = table[:100]
+        expected = FlowTable.from_records(records[:100])
+        assert window.group_sum(("provider_key",), "bytes_down") == expected.group_sum(
+            ("provider_key",), "bytes_down"
+        )

@@ -1,0 +1,164 @@
+"""Tests for the content-addressed artifact store and its warm-start wiring."""
+
+import random
+from datetime import date
+
+import pytest
+
+from repro.experiments.context import build_context
+from repro.flows.flowtable import FlowTable
+from repro.flows.workload import WorkloadGenerator
+from repro.simulation.clock import StudyPeriod
+from repro.simulation.config import ScenarioConfig
+from repro.store.artifacts import (
+    STAGE_RAW_EXPORT,
+    ArtifactStore,
+    clean_stage,
+    config_digest,
+    generated_stage,
+    scenario_fingerprint,
+)
+
+from test_store_codec import random_records
+
+PERIOD = StudyPeriod(date(2022, 3, 1), date(2022, 3, 3), name="store-test")
+
+
+def _tiny(seed: int = 21, **overrides) -> ScenarioConfig:
+    return ScenarioConfig.small(seed=seed).with_overrides(
+        n_subscriber_lines=40, n_scanner_lines=1, **overrides
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture
+def table():
+    return FlowTable.from_records(random_records(random.Random(1), 120))
+
+
+class TestFingerprint:
+    def test_distinguishes_every_config_field(self):
+        base = _tiny()
+        for overrides in ({"seed": 99}, {"sampling_ratio": 64}, {"volume_sigma": 0.5}):
+            changed = base.with_overrides(**overrides)
+            assert scenario_fingerprint(base, PERIOD, "s") != scenario_fingerprint(
+                changed, PERIOD, "s"
+            )
+
+    def test_distinguishes_stage_and_period(self):
+        base = _tiny()
+        other_period = StudyPeriod(date(2022, 3, 1), date(2022, 3, 4))
+        assert scenario_fingerprint(base, PERIOD, "a") != scenario_fingerprint(base, PERIOD, "b")
+        assert scenario_fingerprint(base, PERIOD, "a") != scenario_fingerprint(
+            base, other_period, "a"
+        )
+
+    def test_period_name_does_not_matter(self):
+        """Flows depend only on the covered days, so renamed periods share artifacts."""
+        renamed = StudyPeriod(PERIOD.start, PERIOD.end, name="something-else")
+        assert scenario_fingerprint(_tiny(), PERIOD, "s") == scenario_fingerprint(
+            _tiny(), renamed, "s"
+        )
+
+    def test_config_digest_is_stable(self):
+        assert config_digest(_tiny()) == config_digest(_tiny())
+        assert config_digest(_tiny()) != config_digest(_tiny(seed=22))
+
+
+class TestStore:
+    def test_miss_returns_none(self, store):
+        assert store.get_table(_tiny(), PERIOD, "missing") is None
+
+    def test_put_get_round_trip(self, store, table):
+        store.put_table(_tiny(), PERIOD, "stage", table)
+        loaded = store.get_table(_tiny(), PERIOD, "stage")
+        assert loaded is not None
+        assert loaded.to_records() == table.to_records()
+
+    def test_entries_and_total_bytes(self, store, table):
+        config = _tiny()
+        store.put_table(config, PERIOD, "a", table)
+        store.put_table(config, PERIOD, "b", table)
+        entries = store.entries()
+        assert {entry.stage for entry in entries} == {"a", "b"}
+        assert all(entry.rows == len(table) for entry in entries)
+        assert store.total_bytes() == sum(entry.payload_bytes for entry in entries)
+        assert all(entry.config == repr(config) for entry in entries)
+
+    def test_corrupt_payload_is_a_miss_and_removed(self, store, table):
+        config = _tiny()
+        path = store.put_table(config, PERIOD, "stage", table)
+        path.write_bytes(b"corrupted beyond recognition")
+        assert store.get_table(config, PERIOD, "stage") is None
+        assert not path.exists()
+        assert store.entries() == []
+
+    def test_truncated_payload_is_a_miss(self, store, table):
+        config = _tiny()
+        path = store.put_table(config, PERIOD, "stage", table)
+        path.write_bytes(path.read_bytes()[:100])
+        assert store.get_table(config, PERIOD, "stage") is None
+
+    def test_prune_all(self, store, table):
+        store.put_table(_tiny(), PERIOD, "a", table)
+        store.put_table(_tiny(), PERIOD, "b", table)
+        removed, freed = store.prune()
+        assert removed == 2
+        assert freed > 0
+        assert store.entries() == []
+        assert list(store.root.iterdir()) == []
+
+    def test_prune_respects_age_cutoff(self, store, table):
+        store.put_table(_tiny(), PERIOD, "fresh", table)
+        removed, _freed = store.prune(older_than_seconds=3600.0)
+        assert removed == 0
+        assert len(store.entries()) == 1
+
+
+class TestWarmStart:
+    def test_world_flows_table_warm_starts(self, store, monkeypatch):
+        config = _tiny(seed=31)
+        cold = build_context(config, use_cache=False, store=store)
+        cold_records = cold.world.flows_table(PERIOD).to_records()
+
+        # A warm world must never call the generator again.
+        def boom(self, period, include_scanners=True):
+            raise AssertionError("generator ran despite a warm store")
+
+        monkeypatch.setattr(WorkloadGenerator, "generate_period_table", boom)
+        warm = build_context(config, use_cache=False, store=store)
+        assert warm.world.flows_table(PERIOD).to_records() == cold_records
+
+    def test_context_tables_warm_start_and_skip_discovery(self, store):
+        config = _tiny(seed=32)
+        cold = build_context(config, use_cache=False, store=store)
+        cold_clean = cold.clean_table()
+        cold_raw = cold.raw_table()
+
+        warm = build_context(config, use_cache=False, store=store)
+        assert warm.clean_table().to_records() == cold_clean.to_records()
+        assert warm.raw_table().to_records() == cold_raw.to_records()
+        # Everything came from disk: the discovery pipeline never ran.
+        assert warm._result is None
+
+    def test_store_stages_are_populated(self, store):
+        config = _tiny(seed=33)
+        context = build_context(config, use_cache=False, store=store)
+        context.clean_table()
+        stages = {entry.stage for entry in store.entries()}
+        assert generated_stage(True) in stages
+        assert STAGE_RAW_EXPORT in stages
+        assert clean_stage(100) in stages
+
+    def test_distinct_configs_do_not_alias(self, store):
+        low = build_context(_tiny(seed=34), use_cache=False, store=store)
+        high = build_context(
+            _tiny(seed=34, sampling_ratio=32), use_cache=False, store=store
+        )
+        assert len(low.raw_table(PERIOD)) != len(high.raw_table(PERIOD)) or (
+            low.raw_table(PERIOD).to_records() != high.raw_table(PERIOD).to_records()
+        )

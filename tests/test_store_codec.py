@@ -1,0 +1,162 @@
+"""Round-trip, fuzz, and corruption tests for the columnar store codec."""
+
+import io
+import random
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.flows.flowtable import FlowTable
+from repro.flows.netflow import make_flow
+from repro.store.codec import (
+    CODEC_VERSION,
+    StoreFormatError,
+    dump_table,
+    dumps_table,
+    load_table,
+    loads_table,
+)
+
+
+def random_records(rng, count):
+    """A randomized corpus stressing value types, unicode, and extreme numbers."""
+    providers = ("amazon", "google", "müller-iot", "端末-backend", "")
+    transports = ("tcp", "udp")
+    records = []
+    base = datetime(2022, 3, 1)
+    for _ in range(count):
+        ip_version = 6 if rng.random() < 0.3 else 4
+        server = (
+            f"fd00::{rng.randrange(1, 500):x}"
+            if ip_version == 6
+            else f"10.{rng.randrange(4)}.{rng.randrange(8)}.{rng.randrange(1, 200)}"
+        )
+        bytes_down = rng.choice(
+            (0.0, 1e-12, 1e15, 0.1 + rng.random() * 1e6, float(rng.randrange(10**9)))
+        )
+        records.append(
+            make_flow(
+                timestamp=base + timedelta(hours=rng.randrange(96)),
+                subscriber_id=rng.randrange(10**6),
+                subscriber_prefix=f"prefix-{rng.randrange(64)}",
+                ip_version=ip_version,
+                provider_key=rng.choice(providers),
+                server_ip=server,
+                server_continent=rng.choice(("EU", "NA", "AS", "SA")),
+                server_region=rng.choice(("eu-west-1", "us-east-1", "ap-south-1")),
+                transport=rng.choice(transports),
+                port=rng.choice((443, 8883, 5683, 61616, 1)),
+                bytes_down=bytes_down,
+                bytes_up=rng.random() * 1e9,
+            )
+        )
+    return records
+
+
+class TestRoundTrip:
+    def test_empty_table(self):
+        table = FlowTable()
+        restored = loads_table(dumps_table(table))
+        assert len(restored) == 0
+        assert restored.to_records() == []
+
+    def test_stream_and_bytes_apis_agree(self):
+        rng = random.Random(5)
+        table = FlowTable.from_records(random_records(rng, 50))
+        buffer = io.BytesIO()
+        dump_table(table, buffer)
+        assert buffer.getvalue() == dumps_table(table)
+        assert load_table(io.BytesIO(buffer.getvalue())).to_records() == table.to_records()
+
+    def test_filtered_table_with_shared_pools(self):
+        """A filtered table's pool holds values its codes never reference."""
+        rng = random.Random(7)
+        table = FlowTable.from_records(random_records(rng, 300))
+        filtered = table.where_ip_version(4)
+        restored = loads_table(dumps_table(filtered))
+        assert restored.to_records() == filtered.to_records()
+
+    def test_float_bit_patterns_survive(self):
+        rng = random.Random(9)
+        table = FlowTable.from_records(random_records(rng, 100))
+        restored = loads_table(dumps_table(table))
+        assert list(restored.numeric("bytes_down")) == list(table.numeric("bytes_down"))
+        assert list(restored.numeric("bytes_up")) == list(table.numeric("bytes_up"))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fuzz_random_tables(self, seed):
+        """Random tables -> serialize -> deserialize -> exact record equality."""
+        rng = random.Random(1000 + seed)
+        records = random_records(rng, rng.randrange(1, 400))
+        table = FlowTable.from_records(records)
+        restored = loads_table(dumps_table(table))
+        assert restored.to_records() == records
+        # The restored table is a first-class FlowTable: filters/groups still work.
+        assert restored.group_sum(("provider_key",), "bytes_down") == table.group_sum(
+            ("provider_key",), "bytes_down"
+        )
+
+    def test_fuzz_reserialization_is_stable(self):
+        rng = random.Random(77)
+        table = FlowTable.from_records(random_records(rng, 200))
+        blob = dumps_table(table)
+        assert dumps_table(loads_table(blob)) == blob
+
+
+class TestCorruption:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(StoreFormatError, match="magic"):
+            loads_table(b"NOPE" + b"\x00" * 64)
+
+    def test_truncated_stream_rejected(self):
+        rng = random.Random(3)
+        blob = dumps_table(FlowTable.from_records(random_records(rng, 60)))
+        for cut in (5, len(blob) // 2, len(blob) - 3):
+            with pytest.raises(StoreFormatError):
+                loads_table(blob[:cut])
+
+    def test_future_codec_version_rejected(self):
+        blob = bytearray(dumps_table(FlowTable()))
+        blob[4] = CODEC_VERSION + 1
+        with pytest.raises(StoreFormatError, match="version"):
+            loads_table(bytes(blob))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(StoreFormatError):
+            loads_table(b"")
+
+    def test_garbage_tail_is_ignored(self):
+        """Loading consumes exactly one table; trailing bytes are left alone."""
+        rng = random.Random(4)
+        table = FlowTable.from_records(random_records(rng, 30))
+        stream = io.BytesIO(dumps_table(table) + b"trailing")
+        restored = load_table(stream)
+        assert restored.to_records() == table.to_records()
+        assert stream.read() == b"trailing"
+
+
+def test_duplicate_pool_values_rejected():
+    """Re-interning dedups the pool; a corrupt duplicate must fail loudly at load."""
+    base = datetime(2022, 3, 1)
+    records = [
+        make_flow(
+            timestamp=base,
+            subscriber_id=1,
+            subscriber_prefix="p",
+            ip_version=4,
+            provider_key="amazon",
+            server_ip="10.0.0.1",
+            server_continent="EU",
+            server_region="eu-west-1",
+            transport=transport,
+            port=443,
+            bytes_down=10.0,
+            bytes_up=1.0,
+        )
+        for transport in ("tcp", "udp")
+    ]
+    blob = dumps_table(FlowTable.from_records(records))
+    corrupted = blob.replace(b"udp", b"tcp")
+    assert corrupted != blob
+    with pytest.raises(StoreFormatError, match="duplicate"):
+        loads_table(corrupted)
