@@ -23,7 +23,11 @@ and the scenario-scale subsystem::
     iot-backend-repro cache prune       # delete cached artifacts
 
 Common options select the scenario scale and seed; ``--store DIR`` attaches the
-persistent artifact cache so repeated invocations warm-start from disk.
+persistent artifact cache so repeated invocations warm-start from disk.  The
+store covers both flow tables (``generated:*``, ``raw-export``, ``clean:*``
+stages) and persisted discovery footprints (``discovery:<pattern
+fingerprint>``), so warm ``discovery``/``table1``/``sources`` runs skip the
+multi-source classification pipeline entirely; ``cache ls`` lists every stage.
 """
 
 from __future__ import annotations

@@ -153,6 +153,81 @@ class DiscoveryResult:
         return sum(len(bucket) for bucket in self.per_provider.values())
 
 
+class HostClassificationCache:
+    """Per-host certificate-classification memo shared across daily snapshots.
+
+    Daily Censys snapshots overlap heavily — most hosts present the same
+    certificates on day N+1 as on day N — so re-classifying every certificate
+    name every day is wasted work.  The cache keys each host observation on
+    ``(ip, certificate identity)`` (see
+    :meth:`repro.scan.censys.CensysHostRecord.certificate_identity`) and stores
+    the *verdicts* of the classification: the ``(provider_key, domain)`` pairs
+    the host contributes to a discovery result.  A host whose certificates
+    changed gets a new key and is re-classified; everything else replays its
+    verdicts with one dictionary probe.
+
+    The cache is guarded by the **identity of the compiled pattern engine**: a
+    verdict is only valid for the exact
+    :class:`~repro.core.matcher.CompiledPatternSet` that produced it.
+    :meth:`PatternSet.engine` rebuilds the engine whenever the pattern
+    collection changes, so a changed pattern set yields a new engine object and
+    :meth:`validate` drops every memoized verdict.
+    """
+
+    def __init__(self) -> None:
+        # Keyed by address; the value pairs the certificate identity (the
+        # host's certificate tuple) the verdicts were computed under with the
+        # verdicts themselves, grouped per provider —
+        # ((provider_key, (domain, ...)), ...) — so replay materializes one
+        # record per (host, provider) without merge churn.  Keeping one slot
+        # per address (rather than per (ip, identity) pair) means a rotated
+        # certificate simply overwrites the stale entry.
+        self.by_ip: Dict[
+            str, Tuple[Tuple, Tuple[Tuple[str, Tuple[str, ...]], ...]]
+        ] = {}
+        self._engine_token: Optional[object] = None
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.by_ip)
+
+    def validate(self, engine: object) -> None:
+        """Drop all verdicts unless they were produced by this exact engine."""
+        if engine is not self._engine_token:
+            self.by_ip.clear()
+            self._engine_token = engine
+
+    def get(
+        self, key: Tuple[str, Tuple]
+    ) -> Optional[Tuple[Tuple[str, Tuple[str, ...]], ...]]:
+        """The memoized verdicts of one host observation, or None.
+
+        ``key`` is ``(ip, certificate identity)``; an entry recorded under a
+        different identity (the host rotated its certificate) is a miss.
+        """
+        ip, identity = key
+        cached = self.by_ip.get(ip)
+        if cached is not None and cached[0] == identity:
+            self.hits += 1
+            return cached[1]
+        self.misses += 1
+        return None
+
+    def put(
+        self,
+        key: Tuple[str, Tuple],
+        verdicts: Tuple[Tuple[str, Tuple[str, ...]], ...],
+    ) -> None:
+        """Memoize the verdicts of one host observation."""
+        ip, identity = key
+        self.by_ip[ip] = (identity, verdicts)
+
+    def clear(self) -> None:
+        """Drop every verdict (the engine token survives)."""
+        self.by_ip.clear()
+
+
 def _match_certificate_name(pattern_set, name: str) -> Optional[str]:
     """Match a certificate DNS name (possibly a wildcard) against the pattern set.
 
@@ -171,17 +246,82 @@ class BackendDiscovery:
     compiled engine (:meth:`PatternSet.engine`), and every source iterates
     *distinct* names (certificate-name index, passive-DNS owner-name index)
     so each name is classified exactly once per snapshot/database.
+
+    Censys discovery is additionally **incremental across days**: the instance
+    owns a :class:`HostClassificationCache`, so consecutive snapshots only
+    re-classify hosts whose certificate material changed.  The cached path
+    yields a result identical to the uncached one — it replays the exact
+    ``(provider, domain)`` verdicts the classification produced.
     """
 
     def __init__(self, pattern_set: Optional[PatternSet] = None) -> None:
         self.pattern_set = pattern_set or PatternSet.for_providers()
+        self.host_cache = HostClassificationCache()
 
     # -- TLS certificates (Censys, IPv4) ---------------------------------------------
 
-    def discover_from_censys(self, snapshot: CensysSnapshot) -> DiscoveryResult:
-        """Attribute scanned IPv4 hosts to providers via their certificates."""
+    def discover_from_censys(
+        self, snapshot: CensysSnapshot, use_cache: bool = True
+    ) -> DiscoveryResult:
+        """Attribute scanned IPv4 hosts to providers via their certificates.
+
+        With ``use_cache`` (the default) each host observation is keyed on
+        ``(ip, certificate identity)`` in :attr:`host_cache`; overlapping daily
+        snapshots then replay prior-day verdicts instead of re-classifying.
+        ``use_cache=False`` runs the stateless name-index path (one
+        classification per distinct certificate name in the snapshot) — both
+        paths produce the same result.
+        """
         result = DiscoveryResult(day=snapshot.snapshot_date)
         engine = self.pattern_set.engine()
+        if use_cache:
+            cache = self.host_cache
+            cache.validate(engine)
+            per_provider = result.per_provider
+            lookup = cache.by_ip
+            make_record = DiscoveredIP
+            hits = misses = 0
+            # Snapshot records are keyed by address, so each host appears once
+            # per day; replaying grouped verdicts therefore builds each
+            # (provider, ip) record in a single step instead of add+merge
+            # per certificate name.  The hit path inlines
+            # HostClassificationCache.get (one dict probe plus a
+            # certificate-tuple compare, which short-circuits on object
+            # identity for unchanged certificates) to stay call-free per host
+            # — keep it in sync with that method.
+            for ip, record in snapshot.records.items():
+                identity = record.certificates
+                cached = lookup.get(ip)
+                if cached is not None and cached[0] == identity:
+                    hits += 1
+                    verdicts = cached[1]
+                else:
+                    misses += 1
+                    grouped: Dict[str, List[str]] = {}
+                    for name in record.certificate_names():
+                        provider_key = _match_certificate_name(engine, name)
+                        if provider_key is not None:
+                            grouped.setdefault(provider_key, []).append(
+                                name.lower().rstrip(".")
+                            )
+                    verdicts = tuple(
+                        (provider_key, tuple(domains))
+                        for provider_key, domains in grouped.items()
+                    )
+                    cache.put((ip, identity), verdicts)
+                for provider_key, domains in verdicts:
+                    bucket = per_provider.setdefault(provider_key, {})
+                    existing = bucket.get(ip)
+                    if existing is None:
+                        bucket[ip] = make_record(
+                            ip, provider_key, {SOURCE_TLS}, set(domains)
+                        )
+                    else:
+                        existing.sources.add(SOURCE_TLS)
+                        existing.domains.update(domains)
+            cache.hits += hits
+            cache.misses += misses
+            return result
         for name, ips in snapshot.certificate_name_index().items():
             provider_key = _match_certificate_name(engine, name)
             if provider_key is None:

@@ -241,6 +241,32 @@ class PatternSet:
         """Return the provider keys covered by the set."""
         return sorted(self.patterns)
 
+    def fingerprint(self) -> str:
+        """A stable SHA-256 digest of the pattern collection.
+
+        Covers every field that defines a pattern's matching behaviour (and its
+        description, so a round-tripped set reproduces the digest).  The
+        artifact store keys persisted discovery results on this fingerprint:
+        results classified under one pattern set can never be served to a
+        pipeline running a different one.
+        """
+        import hashlib
+
+        payload = "\x1e".join(
+            "\x1f".join(
+                (
+                    key,
+                    pattern.regex,
+                    pattern.description,
+                    pattern.suffix_hint,
+                    "1" if pattern.exact_hint else "0",
+                )
+            )
+            for key in sorted(self.patterns)
+            for pattern in self.patterns[key]
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     def patterns_for(self, provider_key: str) -> List[DomainPattern]:
         """Return the patterns of one provider."""
         return list(self.patterns.get(provider_key, []))

@@ -11,6 +11,16 @@ The pipeline runs, for every day of the study period:
 
 then combines the daily results, validates the combined set (shared vs. dedicated
 addresses, ground-truth ranges), and characterizes every provider's footprint.
+
+Daily certificate discovery is **incremental**: the pipeline's
+:class:`~repro.core.discovery.BackendDiscovery` keeps a
+:class:`~repro.core.discovery.HostClassificationCache`, so day N+1 only
+re-classifies Censys hosts whose certificate material changed since day N
+(daily snapshots overlap heavily).  The finished
+:class:`PipelineResult` can additionally be persisted in an
+:class:`~repro.store.artifacts.ArtifactStore` (see
+``repro.store.codec.dump_pipeline_result``), which makes warm starts of
+``discovery``/``table1`` skip classification entirely.
 """
 
 from __future__ import annotations
@@ -84,10 +94,20 @@ class DiscoveryPipeline:
         self.pattern_set = pattern_set or PatternSet.for_providers()
         self.discovery = BackendDiscovery(self.pattern_set)
 
+    @property
+    def host_cache(self):
+        """The per-host classification cache shared by all daily TLS runs."""
+        return self.discovery.host_cache
+
     # -- per-source steps -----------------------------------------------------------
 
     def discover_tls(self, day: date) -> DiscoveryResult:
-        """Certificate-based discovery on the day's IPv4 scan snapshot."""
+        """Certificate-based discovery on the day's IPv4 scan snapshot.
+
+        Consecutive days share the pipeline's host-classification cache: only
+        hosts whose certificates changed since the previous call are
+        re-classified.
+        """
         snapshot = self.world.censys.snapshot(day)
         return self.discovery.discover_from_censys(snapshot)
 

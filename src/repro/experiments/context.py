@@ -9,13 +9,18 @@ them once and caches the results.  Two cache layers exist:
   of configurations cannot hold every world in memory), and
 * an optional on-disk :class:`~repro.store.artifacts.ArtifactStore`: when one
   is passed to :func:`build_context`, the generated, exported, and
-  scanner-cleaned flow tables warm-start from disk across processes.
+  scanner-cleaned flow tables — and the discovery pipeline's full
+  :class:`~repro.core.pipeline.PipelineResult` — warm-start from disk across
+  processes.
 
 The discovery pipeline is built *lazily*: a context whose flow tables all come
 from the artifact store never pays for a discovery run it does not use.  This
 is safe because the pipeline consumes no random streams — it is a pure
 function of the already-built world — so running it before or after flow
-generation yields bit-identical results.
+generation yields bit-identical results.  When discovery *is* used (the
+``discovery``/``table1`` experiments, scanner exclusion on a cold store), its
+result is persisted under the ``discovery:<pattern fingerprint>`` stage and
+later contexts skip classification entirely.
 """
 
 from __future__ import annotations
@@ -69,14 +74,33 @@ class ExperimentContext:
 
     @property
     def result(self) -> PipelineResult:
-        """The discovery run, executed on first use.
+        """The discovery run, executed (or loaded from the store) on first use.
 
         Contexts that only read warm flow tables from the artifact store never
-        trigger it.
+        trigger it.  With a store attached, the full
+        :class:`~repro.core.pipeline.PipelineResult` warm-starts from disk —
+        keyed on the frozen config, the study period, and the pattern-set
+        fingerprint — so ``discovery``/``table1`` consumers skip classification
+        entirely; a cold run persists its result for the next process.
         """
         if self._result is None:
-            self._result = self.pipeline.run()
+            self._result = self._load_or_run_pipeline()
         return self._result
+
+    def _load_or_run_pipeline(self) -> PipelineResult:
+        stage = None
+        period = self.config.study_period
+        if self.store is not None:
+            from repro.store.artifacts import discovery_stage
+
+            stage = discovery_stage(self.pipeline.pattern_set)
+            cached = self.store.get_pipeline_result(self.config, period, stage)
+            if cached is not None:
+                return cached
+        result = self.pipeline.run(period)
+        if self.store is not None:
+            self.store.put_pipeline_result(self.config, period, stage, result)
+        return result
 
     # -- flows ---------------------------------------------------------------------
 

@@ -48,6 +48,22 @@ class CensysHostRecord:
                     names.append(name)
         return names
 
+    def certificate_identity(self) -> Tuple[Certificate, ...]:
+        """The identity of the certificate material presented by the host.
+
+        Daily snapshots overlap heavily: the same backend serves the same
+        certificates day after day, and the incremental discovery cache
+        (:class:`repro.core.discovery.HostClassificationCache`) keys each host
+        observation on ``(ip, certificate identity)`` to reuse the prior day's
+        classification verdicts.  The identity is the certificate tuple
+        itself: comparing two days' tuples short-circuits on object identity
+        for unchanged certificates (endpoints serve the same objects across
+        days) and falls back to value equality, so a rotated certificate —
+        even one replaced by an equal copy — always compares correctly and a
+        changed one is re-classified.
+        """
+        return self.certificates
+
 
 @dataclass
 class CensysSnapshot:

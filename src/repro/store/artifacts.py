@@ -12,7 +12,15 @@ Three stages are cached along the generation path:
 
 * ``generated:*`` — the raw workload of a period (``World.flows_table``),
 * ``raw-export`` — the packet-sampled NetFlow export (``ExperimentContext.raw_table``),
-* ``clean:<threshold>`` — the scanner-excluded baseline (``ExperimentContext.clean_table``).
+* ``clean:<threshold>`` — the scanner-excluded baseline (``ExperimentContext.clean_table``),
+
+plus one along the discovery path:
+
+* ``discovery:<pattern fingerprint>`` — the full
+  :class:`~repro.core.pipeline.PipelineResult` of a study period
+  (``ExperimentContext.result``).  The stage tag embeds the SHA-256
+  fingerprint of the pattern set that classified the names, so a changed
+  pattern collection can never be served stale footprints.
 
 Writes are atomic (temp file + ``os.replace``) so concurrent sweep workers can
 share one store directory; a corrupt or truncated artifact is treated as a
@@ -33,7 +41,15 @@ from typing import List, Optional, Tuple, Union
 from repro.flows.flowtable import FlowTable
 from repro.simulation.clock import StudyPeriod
 from repro.simulation.config import ScenarioConfig
-from repro.store.codec import CODEC_VERSION, StoreFormatError, dump_table, load_table
+from repro.store.codec import (
+    CODEC_VERSION,
+    DISCOVERY_CODEC_VERSION,
+    StoreFormatError,
+    dump_pipeline_result,
+    dump_table,
+    load_pipeline_result,
+    load_table,
+)
 
 #: Bump when the fingerprint recipe itself changes.
 FINGERPRINT_VERSION = 1
@@ -58,6 +74,17 @@ def generated_stage(include_scanners: bool) -> str:
 def clean_stage(threshold: int) -> str:
     """Stage tag of a scanner-excluded table at one exclusion threshold."""
     return f"clean:{threshold}"
+
+
+def discovery_stage(pattern_set) -> str:
+    """Stage tag of a persisted discovery run under one pattern collection.
+
+    The tag embeds a prefix of :meth:`~repro.core.patterns.PatternSet.fingerprint`
+    (itself a SHA-256, so 16 hex digits keep collisions out of reach), making
+    the pattern set part of the artifact's content address: a pipeline running
+    different patterns addresses — and misses — a different slot.
+    """
+    return f"discovery:{pattern_set.fingerprint()[:16]}"
 
 
 def default_store_root() -> Path:
@@ -159,12 +186,86 @@ class ArtifactStore:
         finally:
             if tmp.exists():
                 tmp.unlink()
+        self._write_sidecar(
+            digest,
+            stage=stage,
+            period=period,
+            rows=len(table),
+            payload_bytes=path.stat().st_size,
+            config=config,
+        )
+        return path
+
+    @staticmethod
+    def _pipeline_fingerprint_stage(stage: str) -> str:
+        """The fingerprint-facing stage tag of a pipeline-result artifact.
+
+        Folds the discovery codec version into the address so a codec bump
+        orphans (never mis-reads) old discovery artifacts without disturbing
+        the flow-table slots.
+        """
+        return f"{stage}|discovery-codec={DISCOVERY_CODEC_VERSION}"
+
+    def get_pipeline_result(
+        self, config: ScenarioConfig, period: StudyPeriod, stage: str
+    ):
+        """Load the pipeline result of (config, period, stage), or None on a miss.
+
+        Exactly like :meth:`get_table`, a corrupt or truncated payload counts
+        as a miss and is deleted, so callers transparently fall back to a cold
+        discovery run and rebuild the slot.
+        """
+        digest = scenario_fingerprint(config, period, self._pipeline_fingerprint_stage(stage))
+        path = self._payload_path(digest)
+        try:
+            with path.open("rb") as stream:
+                return load_pipeline_result(stream)
+        except FileNotFoundError:
+            return None
+        except (StoreFormatError, OSError):
+            self._discard(digest)
+            return None
+
+    def put_pipeline_result(
+        self, config: ScenarioConfig, period: StudyPeriod, stage: str, result
+    ) -> Path:
+        """Persist a pipeline result under its scenario fingerprint (atomic)."""
+        digest = scenario_fingerprint(config, period, self._pipeline_fingerprint_stage(stage))
+        path = self._payload_path(digest)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            with tmp.open("wb") as stream:
+                dump_pipeline_result(result, stream)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        self._write_sidecar(
+            digest,
+            stage=stage,
+            period=period,
+            rows=result.combined.total_count(),
+            payload_bytes=path.stat().st_size,
+            config=config,
+        )
+        return path
+
+    def _write_sidecar(
+        self,
+        digest: str,
+        stage: str,
+        period: StudyPeriod,
+        rows: int,
+        payload_bytes: int,
+        config: ScenarioConfig,
+    ) -> None:
+        """Write (atomically) the JSON metadata sidecar of one artifact."""
         meta = {
             "digest": digest,
             "stage": stage,
             "period": f"{period.start.isoformat()}..{period.end.isoformat()}",
-            "rows": len(table),
-            "payload_bytes": path.stat().st_size,
+            "rows": rows,
+            "payload_bytes": payload_bytes,
             "created": time.time(),
             "config": repr(config),
             "fingerprint_version": FINGERPRINT_VERSION,
@@ -177,7 +278,6 @@ class ArtifactStore:
         finally:
             if meta_tmp.exists():
                 meta_tmp.unlink()
-        return path
 
     def _discard(self, digest: str) -> int:
         """Remove one artifact (payload + sidecar); return the bytes freed."""

@@ -1,8 +1,10 @@
-"""Binary columnar serialization for :class:`~repro.flows.flowtable.FlowTable`.
+"""Binary serialization for flow tables and discovery-pipeline results.
 
-The format mirrors the table's in-memory layout, so serialization is a
-straight dump of each column and deserialization rebuilds the table without a
-per-row decode step:
+Two artifact families share the same no-pickle, tagged-scalar byte style:
+
+**Flow tables.**  The format mirrors the table's in-memory layout, so
+serialization is a straight dump of each column and deserialization rebuilds
+the table without a per-row decode step:
 
 * a fixed header (magic, codec version, byte order, row count),
 * one block per dictionary-encoded column: the value pool as tagged scalars
@@ -14,6 +16,18 @@ Raw column bytes round-trip bit-exactly (floats keep their bit pattern), so
 ``loads_table(dumps_table(t)).to_records() == t.to_records()`` holds for any
 table.  The byte order of the writing host is recorded in the header and the
 arrays are byte-swapped on load when it differs, so artifacts are portable.
+
+**Discovery footprints.**  :func:`dump_discovery` /
+:func:`dump_pipeline_result` persist a
+:class:`~repro.core.discovery.DiscoveryResult` or a full
+:class:`~repro.core.pipeline.PipelineResult` (daily results, combined set,
+shared-IP validation, per-provider footprints, ground truth, and the pattern
+set that produced it) in the same tagged-pool style: every scalar of a
+discovery result goes through a deduplicating value pool (provider keys,
+addresses, sources, and domains repeat heavily) and structures reference pool
+indices.  ``load_pipeline_result(dump_pipeline_result(r)) == r`` holds
+dataclass-for-dataclass.
+
 No pickle is involved anywhere: a corrupted or truncated file raises
 :class:`StoreFormatError` instead of executing anything.
 """
@@ -25,14 +39,19 @@ import struct
 import sys
 from array import array
 from datetime import date, datetime
-from typing import BinaryIO, Callable, Dict, List
+from typing import BinaryIO, Callable, Dict, List, Optional, Tuple
 
 from repro.flows.flowtable import CATEGORICAL_COLUMNS, NUMERIC_COLUMNS, FlowTable
 
 #: Bump on any incompatible change to the byte layout below.
 CODEC_VERSION = 1
 
+#: Bump on any incompatible change to the discovery/pipeline byte layout.
+DISCOVERY_CODEC_VERSION = 1
+
 _MAGIC = b"RFTB"
+_MAGIC_DISCOVERY = b"RDSC"
+_MAGIC_PIPELINE = b"RPPL"
 _LITTLE = 0
 _BIG = 1
 _LOCAL_ORDER = _LITTLE if sys.byteorder == "little" else _BIG
@@ -148,9 +167,17 @@ class _Reader:
         if tag == _TAG_FLOAT:
             return self.unpack("<d")[0]
         if tag == _TAG_DATETIME:
-            return datetime.fromisoformat(self.read_str())
+            text = self.read_str()
+            try:
+                return datetime.fromisoformat(text)
+            except ValueError as error:
+                raise StoreFormatError(f"corrupt datetime field: {error}") from None
         if tag == _TAG_DATE:
-            return date.fromisoformat(self.read_str())
+            text = self.read_str()
+            try:
+                return date.fromisoformat(text)
+            except ValueError as error:
+                raise StoreFormatError(f"corrupt date field: {error}") from None
         if tag == _TAG_STR:
             return self.read_str()
         raise StoreFormatError(f"unknown pool value tag {tag}")
@@ -254,3 +281,451 @@ def load_table(stream: BinaryIO) -> FlowTable:
 def loads_table(data: bytes) -> FlowTable:
     """Deserialize a table from bytes."""
     return load_table(io.BytesIO(data))
+
+
+# ---------------------------------------------------------------------------
+# Discovery footprints (DiscoveryResult / PipelineResult)
+# ---------------------------------------------------------------------------
+
+
+class _ValuePool:
+    """An interning pool of tagged scalars, written once and referenced by index."""
+
+    __slots__ = ("_index", "values")
+
+    def __init__(self) -> None:
+        self._index: Dict[Tuple[type, object], int] = {}
+        self.values: List[object] = []
+
+    def add(self, value: object) -> int:
+        key = (value.__class__, value)
+        index = self._index.get(key)
+        if index is None:
+            index = len(self.values)
+            self._index[key] = index
+            self.values.append(value)
+        return index
+
+
+def _pool_discovery(result, pool: _ValuePool) -> None:
+    """Intern every scalar of a discovery result (canonical sorted order)."""
+    for provider_key in sorted(result.per_provider):
+        pool.add(provider_key)
+        bucket = result.per_provider[provider_key]
+        for ip in sorted(bucket):
+            pool.add(ip)
+            record = bucket[ip]
+            for source in sorted(record.sources):
+                pool.add(source)
+            for domain in sorted(record.domains):
+                pool.add(domain)
+
+
+def _write_discovery_body(write: Callable[[bytes], object], result, pool: _ValuePool) -> None:
+    """Write one discovery result as pool references (pool written separately)."""
+    _write_value(write, result.day)
+    write(struct.pack("<I", len(result.per_provider)))
+    for provider_key in sorted(result.per_provider):
+        bucket = result.per_provider[provider_key]
+        write(struct.pack("<II", pool.add(provider_key), len(bucket)))
+        for ip in sorted(bucket):
+            record = bucket[ip]
+            sources = sorted(record.sources)
+            domains = sorted(record.domains)
+            write(struct.pack("<III", pool.add(ip), len(sources), len(domains)))
+            for source in sources:
+                write(struct.pack("<I", pool.add(source)))
+            for domain in domains:
+                write(struct.pack("<I", pool.add(domain)))
+
+
+class _PooledReader(_Reader):
+    """A byte-stream cursor with an attached value pool for reference reads."""
+
+    __slots__ = ("pool",)
+
+    def __init__(self, stream: BinaryIO) -> None:
+        super().__init__(stream)
+        self.pool: List[object] = []
+
+    def read_pool(self) -> None:
+        (size,) = self.unpack("<I")
+        self.pool = [self.read_value() for _ in range(size)]
+
+    def pool_str(self, index: int) -> str:
+        if index >= len(self.pool):
+            raise StoreFormatError(f"pool reference {index} out of range")
+        value = self.pool[index]
+        if not isinstance(value, str):
+            raise StoreFormatError(f"pool reference {index} is not a string")
+        return value
+
+    def read_ref_str(self) -> str:
+        (index,) = self.unpack("<I")
+        return self.pool_str(index)
+
+
+def _read_discovery_body(reader: _PooledReader):
+    """Read one discovery result written by :func:`_write_discovery_body`."""
+    from repro.core.discovery import DiscoveredIP, DiscoveryResult
+
+    day = reader.read_value()
+    if day is not None and (not isinstance(day, date) or isinstance(day, datetime)):
+        raise StoreFormatError("discovery day is not a date")
+    result = DiscoveryResult(day=day)
+    (n_providers,) = reader.unpack("<I")
+    for _ in range(n_providers):
+        provider_ref, n_ips = reader.unpack("<II")
+        provider_key = reader.pool_str(provider_ref)
+        for _ in range(n_ips):
+            ip_ref, n_sources, n_domains = reader.unpack("<III")
+            ip = reader.pool_str(ip_ref)
+            sources = {reader.read_ref_str() for _ in range(n_sources)}
+            domains = {reader.read_ref_str() for _ in range(n_domains)}
+            result.add(
+                DiscoveredIP(ip=ip, provider_key=provider_key, sources=sources, domains=domains)
+            )
+    return result
+
+
+def dump_discovery(result, stream: BinaryIO) -> None:
+    """Serialize a :class:`~repro.core.discovery.DiscoveryResult` to a stream."""
+    write = stream.write
+    write(_MAGIC_DISCOVERY)
+    write(struct.pack("<B", DISCOVERY_CODEC_VERSION))
+    pool = _ValuePool()
+    _pool_discovery(result, pool)
+    write(struct.pack("<I", len(pool.values)))
+    for value in pool.values:
+        _write_value(write, value)
+    _write_discovery_body(write, result, pool)
+
+
+def dumps_discovery(result) -> bytes:
+    """Serialize a discovery result to bytes."""
+    buffer = io.BytesIO()
+    dump_discovery(result, buffer)
+    return buffer.getvalue()
+
+
+def load_discovery(stream: BinaryIO):
+    """Deserialize a discovery result written by :func:`dump_discovery`."""
+    reader = _PooledReader(stream)
+    if reader.take(len(_MAGIC_DISCOVERY)) != _MAGIC_DISCOVERY:
+        raise StoreFormatError("not a serialized DiscoveryResult (bad magic)")
+    (version,) = reader.unpack("<B")
+    if version != DISCOVERY_CODEC_VERSION:
+        raise StoreFormatError(
+            f"unsupported discovery codec version {version} "
+            f"(expected {DISCOVERY_CODEC_VERSION})"
+        )
+    reader.read_pool()
+    return _read_discovery_body(reader)
+
+
+def loads_discovery(data: bytes):
+    """Deserialize a discovery result from bytes."""
+    return load_discovery(io.BytesIO(data))
+
+
+def _write_str_tuple(write: Callable[[bytes], object], values) -> None:
+    write(struct.pack("<I", len(values)))
+    for value in values:
+        _write_str(write, value)
+
+
+def _read_str_tuple(reader: _Reader) -> Tuple[str, ...]:
+    (count,) = reader.unpack("<I")
+    return tuple(reader.read_str() for _ in range(count))
+
+
+def _write_location(write: Callable[[bytes], object], location) -> None:
+    if location is None:
+        write(struct.pack("<B", 0))
+        return
+    write(struct.pack("<B", 1))
+    for text in (
+        location.city,
+        location.airport_code,
+        location.country,
+        location.continent,
+        location.region_code,
+    ):
+        _write_str(write, text)
+
+
+def _read_location(reader: _Reader):
+    from repro.netmodel.geo import Location
+
+    (present,) = reader.unpack("<B")
+    if present == 0:
+        return None
+    if present != 1:
+        raise StoreFormatError(f"bad location presence flag {present}")
+    return Location(*(reader.read_str() for _ in range(5)))
+
+
+def dump_pipeline_result(result, stream: BinaryIO) -> None:
+    """Serialize a :class:`~repro.core.pipeline.PipelineResult` to a stream.
+
+    Every nested :class:`DiscoveryResult` (the combined set, each daily
+    result, the validated dedicated set) is written as its own pooled block;
+    footprints, ground-truth reports, the study period, and the pattern set
+    are written as tagged scalars, so the loaded result compares equal to the
+    original dataclass-for-dataclass.
+    """
+    write = stream.write
+    write(_MAGIC_PIPELINE)
+    write(struct.pack("<B", DISCOVERY_CODEC_VERSION))
+
+    # Study period.
+    _write_str(write, result.period.name)
+    _write_value(write, result.period.start)
+    _write_value(write, result.period.end)
+
+    # Pattern set (regex text + engine hints; recompiled on load).
+    patterns = result.pattern_set.patterns
+    write(struct.pack("<I", len(patterns)))
+    for provider_key in sorted(patterns):
+        _write_str(write, provider_key)
+        write(struct.pack("<I", len(patterns[provider_key])))
+        for pattern in patterns[provider_key]:
+            _write_str(write, pattern.regex)
+            _write_str(write, pattern.description)
+            _write_str(write, pattern.suffix_hint)
+            write(struct.pack("<B", 1 if pattern.exact_hint else 0))
+
+    # Daily results and the combined set.
+    write(struct.pack("<I", len(result.daily_results)))
+    for day in sorted(result.daily_results):
+        _write_value(write, day)
+        dump_discovery(result.daily_results[day], stream)
+    dump_discovery(result.combined, stream)
+
+    # Shared-vs-dedicated validation.
+    write(struct.pack("<q", result.validation.threshold))
+    dump_discovery(result.validation.dedicated, stream)
+    write(struct.pack("<I", len(result.validation.shared)))
+    for shared in result.validation.shared:
+        _write_str(write, shared.ip)
+        _write_str(write, shared.provider_key)
+        write(struct.pack("<q", shared.non_iot_domain_count))
+
+    # Per-provider footprint reports.
+    write(struct.pack("<I", len(result.footprints)))
+    for provider_key in sorted(result.footprints):
+        report = result.footprints[provider_key]
+        _write_str(write, report.provider_key)
+        _write_str(write, report.provider_name)
+        write(
+            struct.pack(
+                "<qqqqqqqqq",
+                report.as_count,
+                report.prefix_count,
+                report.ipv4_count,
+                report.ipv6_count,
+                report.slash24_count,
+                report.slash56_count,
+                report.location_count,
+                report.country_count,
+                report.geolocation_disagreements,
+            )
+        )
+        _write_str_tuple(write, report.continents)
+        _write_str_tuple(write, report.countries)
+        _write_str(write, report.strategy)
+        _write_str_tuple(write, report.documented_protocols)
+        write(struct.pack("<B", 1 if report.uses_anycast else 0))
+        write(struct.pack("<I", len(report.locations_by_ip)))
+        for ip in sorted(report.locations_by_ip):
+            _write_str(write, ip)
+            _write_location(write, report.locations_by_ip[ip])
+
+    # Ground-truth reports.
+    write(struct.pack("<I", len(result.ground_truth)))
+    for provider_key in sorted(result.ground_truth):
+        report = result.ground_truth[provider_key]
+        _write_str(write, report.provider_key)
+        _write_str_tuple(write, report.published_prefixes)
+        # Published ranges include IPv6 prefixes, whose address counts exceed
+        # 64 bits (a /56 alone spans 2^72) — encode as a decimal string.
+        _write_str(write, str(report.published_address_count))
+        write(
+            struct.pack(
+                "<qqq",
+                report.discovered_count,
+                report.discovered_inside,
+                report.discovered_outside,
+            )
+        )
+
+
+def dumps_pipeline_result(result) -> bytes:
+    """Serialize a pipeline result to bytes."""
+    buffer = io.BytesIO()
+    dump_pipeline_result(result, buffer)
+    return buffer.getvalue()
+
+
+def load_pipeline_result(stream: BinaryIO):
+    """Deserialize a pipeline result written by :func:`dump_pipeline_result`."""
+    from repro.core.discovery import DiscoveryResult
+    from repro.core.footprint import FootprintReport
+    from repro.core.patterns import DomainPattern, PatternSet
+    from repro.core.pipeline import PipelineResult
+    from repro.core.validation import (
+        GroundTruthReport,
+        SharedIpClassification,
+        SharedIpRecord,
+    )
+    from repro.simulation.clock import StudyPeriod
+
+    reader = _Reader(stream)
+    if reader.take(len(_MAGIC_PIPELINE)) != _MAGIC_PIPELINE:
+        raise StoreFormatError("not a serialized PipelineResult (bad magic)")
+    (version,) = reader.unpack("<B")
+    if version != DISCOVERY_CODEC_VERSION:
+        raise StoreFormatError(
+            f"unsupported discovery codec version {version} "
+            f"(expected {DISCOVERY_CODEC_VERSION})"
+        )
+    try:
+        period_name = reader.read_str()
+        start = reader.read_value()
+        end = reader.read_value()
+        if not isinstance(start, date) or not isinstance(end, date):
+            raise StoreFormatError("study period bounds are not dates")
+        period = StudyPeriod(start=start, end=end, name=period_name)
+
+        pattern_set = PatternSet()
+        (n_providers,) = reader.unpack("<I")
+        for _ in range(n_providers):
+            provider_key = reader.read_str()
+            (n_patterns,) = reader.unpack("<I")
+            specs = []
+            for _ in range(n_patterns):
+                regex = reader.read_str()
+                description = reader.read_str()
+                suffix_hint = reader.read_str()
+                (exact,) = reader.unpack("<B")
+                specs.append(
+                    DomainPattern(
+                        provider_key,
+                        regex,
+                        description,
+                        suffix_hint=suffix_hint,
+                        exact_hint=bool(exact),
+                    )
+                )
+            pattern_set.patterns[provider_key] = specs
+
+        daily_results: Dict[date, DiscoveryResult] = {}
+        (n_days,) = reader.unpack("<I")
+        for _ in range(n_days):
+            day = reader.read_value()
+            if not isinstance(day, date) or isinstance(day, datetime):
+                raise StoreFormatError("daily-result key is not a date")
+            daily_results[day] = load_discovery(stream)
+        combined = load_discovery(stream)
+
+        (threshold,) = reader.unpack("<q")
+        dedicated = load_discovery(stream)
+        shared = []
+        (n_shared,) = reader.unpack("<I")
+        for _ in range(n_shared):
+            ip = reader.read_str()
+            provider_key = reader.read_str()
+            (count,) = reader.unpack("<q")
+            shared.append(
+                SharedIpRecord(ip=ip, provider_key=provider_key, non_iot_domain_count=count)
+            )
+        validation = SharedIpClassification(
+            threshold=threshold, dedicated=dedicated, shared=shared
+        )
+
+        footprints: Dict[str, FootprintReport] = {}
+        (n_footprints,) = reader.unpack("<I")
+        for _ in range(n_footprints):
+            provider_key = reader.read_str()
+            provider_name = reader.read_str()
+            (
+                as_count,
+                prefix_count,
+                ipv4_count,
+                ipv6_count,
+                slash24_count,
+                slash56_count,
+                location_count,
+                country_count,
+                disagreements,
+            ) = reader.unpack("<qqqqqqqqq")
+            continents = _read_str_tuple(reader)
+            countries = _read_str_tuple(reader)
+            strategy = reader.read_str()
+            protocols = _read_str_tuple(reader)
+            (anycast,) = reader.unpack("<B")
+            locations_by_ip = {}
+            (n_locations,) = reader.unpack("<I")
+            for _ in range(n_locations):
+                ip = reader.read_str()
+                locations_by_ip[ip] = _read_location(reader)
+            footprints[provider_key] = FootprintReport(
+                provider_key=provider_key,
+                provider_name=provider_name,
+                as_count=as_count,
+                prefix_count=prefix_count,
+                ipv4_count=ipv4_count,
+                ipv6_count=ipv6_count,
+                slash24_count=slash24_count,
+                slash56_count=slash56_count,
+                location_count=location_count,
+                country_count=country_count,
+                continents=continents,
+                countries=countries,
+                strategy=strategy,
+                documented_protocols=protocols,
+                uses_anycast=bool(anycast),
+                locations_by_ip=locations_by_ip,
+                geolocation_disagreements=disagreements,
+            )
+
+        ground_truth: Dict[str, GroundTruthReport] = {}
+        (n_ground_truth,) = reader.unpack("<I")
+        for _ in range(n_ground_truth):
+            provider_key = reader.read_str()
+            prefixes = _read_str_tuple(reader)
+            published_text = reader.read_str()
+            if not published_text.isdigit():
+                raise StoreFormatError(
+                    f"corrupt published address count {published_text!r}"
+                )
+            published = int(published_text)
+            (discovered, inside, outside) = reader.unpack("<qqq")
+            ground_truth[provider_key] = GroundTruthReport(
+                provider_key=provider_key,
+                published_prefixes=prefixes,
+                published_address_count=published,
+                discovered_count=discovered,
+                discovered_inside=inside,
+                discovered_outside=outside,
+            )
+    except StoreFormatError:
+        raise
+    except ValueError as error:
+        # Constructor validation (bad continent, inverted period, ...) means
+        # the payload is corrupt, not that the caller misused the API.
+        raise StoreFormatError(f"corrupt pipeline result: {error}") from None
+    return PipelineResult(
+        period=period,
+        pattern_set=pattern_set,
+        daily_results=daily_results,
+        combined=combined,
+        validation=validation,
+        footprints=footprints,
+        ground_truth=ground_truth,
+    )
+
+
+def loads_pipeline_result(data: bytes):
+    """Deserialize a pipeline result from bytes."""
+    return load_pipeline_result(io.BytesIO(data))

@@ -160,3 +160,135 @@ def test_duplicate_pool_values_rejected():
     assert corrupted != blob
     with pytest.raises(StoreFormatError, match="duplicate"):
         loads_table(corrupted)
+
+
+def random_discovery(rng, count):
+    """A randomized discovery result stressing families, sources, and unicode."""
+    from repro.core.discovery import ALL_SOURCES, DiscoveredIP, DiscoveryResult
+    from datetime import date
+
+    result = DiscoveryResult(day=date(2022, 3, 1) if rng.random() < 0.7 else None)
+    providers = ("amazon", "google", "müller-iot", "端末-backend")
+    for _ in range(count):
+        ip = (
+            f"fd00::{rng.randrange(1, 300):x}"
+            if rng.random() < 0.3
+            else f"10.{rng.randrange(4)}.{rng.randrange(8)}.{rng.randrange(1, 200)}"
+        )
+        result.add(
+            DiscoveredIP(
+                ip=ip,
+                provider_key=rng.choice(providers),
+                sources={s for s in ALL_SOURCES if rng.random() < 0.5} or {ALL_SOURCES[0]},
+                domains={f"dev-{rng.randrange(50)}.iot.example" for _ in range(rng.randrange(1, 4))},
+            )
+        )
+    return result
+
+
+class TestDiscoveryCodec:
+    def test_empty_result_round_trips(self):
+        from repro.core.discovery import DiscoveryResult
+        from repro.store.codec import dumps_discovery, loads_discovery
+
+        result = DiscoveryResult()
+        assert loads_discovery(dumps_discovery(result)) == result
+
+    def test_fuzz_random_results(self):
+        from repro.store.codec import dumps_discovery, loads_discovery
+
+        for seed in (1, 7, 23):
+            rng = random.Random(seed)
+            result = random_discovery(rng, 150)
+            restored = loads_discovery(dumps_discovery(result))
+            assert restored == result
+            assert restored.day == result.day
+
+    def test_reserialization_is_stable(self):
+        from repro.store.codec import dumps_discovery, loads_discovery
+
+        blob = dumps_discovery(random_discovery(random.Random(5), 80))
+        assert dumps_discovery(loads_discovery(blob)) == blob
+
+    def test_truncation_and_bad_magic_rejected(self):
+        from repro.store.codec import dumps_discovery, loads_discovery
+
+        blob = dumps_discovery(random_discovery(random.Random(9), 40))
+        with pytest.raises(StoreFormatError, match="magic"):
+            loads_discovery(b"NOPE" + blob[4:])
+        for cut in (2, len(blob) // 3, len(blob) - 2):
+            with pytest.raises(StoreFormatError):
+                loads_discovery(blob[:cut])
+
+    def test_corrupt_date_field_raises_store_format_error(self):
+        # A flipped byte inside an ISO date must surface as StoreFormatError
+        # (the store's miss-and-rebuild contract), never a bare ValueError.
+        from repro.store.codec import dumps_discovery, loads_discovery
+
+        blob = dumps_discovery(random_discovery(random.Random(11), 10))
+        corrupted = blob.replace(b"2022-03-01", b"2022X03-01", 1)
+        assert corrupted != blob
+        with pytest.raises(StoreFormatError, match="corrupt date"):
+            loads_discovery(corrupted)
+
+    def test_corrupt_timestamp_in_flow_table_is_store_format_error(self):
+        # The flow-table pool stores datetimes too; ArtifactStore.get_table
+        # only treats StoreFormatError as a miss, so corruption there must
+        # not escape as ValueError either.
+        blob = dumps_table(FlowTable.from_records(random_records(random.Random(12), 20)))
+        corrupted = blob.replace(b"2022-03", b"2022X03", 1)
+        assert corrupted != blob
+        with pytest.raises(StoreFormatError, match="corrupt datetime"):
+            loads_table(corrupted)
+
+
+class TestPipelineResultCodec:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.core.pipeline import DiscoveryPipeline
+        from repro.simulation.config import ScenarioConfig
+        from repro.simulation.world import build_world
+
+        world = build_world(ScenarioConfig.small(seed=7))
+        return DiscoveryPipeline(world).run()
+
+    def test_full_pipeline_result_round_trips(self, result):
+        from repro.store.codec import dumps_pipeline_result, loads_pipeline_result
+
+        restored = loads_pipeline_result(dumps_pipeline_result(result))
+        assert restored == result
+        assert restored.period == result.period
+        assert restored.table1_rows() == result.table1_rows()
+        assert restored.pattern_set.fingerprint() == result.pattern_set.fingerprint()
+
+    def test_reserialization_is_stable(self, result):
+        from repro.store.codec import dumps_pipeline_result, loads_pipeline_result
+
+        blob = dumps_pipeline_result(result)
+        assert dumps_pipeline_result(loads_pipeline_result(blob)) == blob
+
+    def test_truncation_rejected_everywhere(self, result):
+        from repro.store.codec import dumps_pipeline_result, loads_pipeline_result
+
+        blob = dumps_pipeline_result(result)
+        step = max(1, len(blob) // 97)
+        for cut in range(0, len(blob) - 1, step):
+            with pytest.raises(StoreFormatError):
+                loads_pipeline_result(blob[:cut])
+
+    def test_bit_flips_never_execute_or_hang(self, result):
+        """Corruption either round-trips to an unequal value or raises cleanly."""
+        from repro.store.codec import dumps_pipeline_result, loads_pipeline_result
+
+        blob = dumps_pipeline_result(result)
+        rng = random.Random(13)
+        for _ in range(40):
+            corrupted = bytearray(blob)
+            position = rng.randrange(len(corrupted))
+            corrupted[position] ^= 1 << rng.randrange(8)
+            try:
+                loads_pipeline_result(bytes(corrupted))
+            except StoreFormatError:
+                pass
+            except MemoryError:
+                pytest.fail("corrupt length field caused an allocation blow-up")
