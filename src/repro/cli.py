@@ -28,6 +28,13 @@ store covers both flow tables (``generated:*``, ``raw-export``, ``clean:*``
 stages) and persisted discovery footprints (``discovery:<pattern
 fingerprint>``), so warm ``discovery``/``table1``/``sources`` runs skip the
 multi-source classification pipeline entirely; ``cache ls`` lists every stage.
+
+``--gen-workers N`` generates the hours of a study period in N parallel
+worker processes (hours draw from independent per-hour streams, so the flows
+— and therefore every downstream result and artifact-store address — are
+byte-identical at any worker count; only wall-clock changes).  Under ``sweep``
+it composes with ``--workers``: each scenario worker runs its own clamped
+generation pool, capped so the product never oversubscribes the machine.
 """
 
 from __future__ import annotations
@@ -184,6 +191,14 @@ def _scenario_options() -> argparse.ArgumentParser:
         help="artifact store directory for persistent warm starts "
         "(default: no persistent cache)",
     )
+    common.add_argument(
+        "--gen-workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="parallel worker processes for per-hour flow generation "
+        "(byte-identical output at any count; default: serial)",
+    )
     return common
 
 
@@ -256,6 +271,7 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> Tup
             workers=args.workers,
             store=args.store,
             ledger_path=args.ledger,
+            gen_workers=args.gen_workers if args.gen_workers is not None else 1,
         )
     except ValueError as error:
         parser.error(str(error))
@@ -321,7 +337,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_run_cache(args))
         return 0
     config = _make_config(args)
-    context = build_context(config, store=_make_store(args))
+    context = build_context(config, store=_make_store(args), gen_workers=args.gen_workers)
     output = _COMMANDS[args.command](context)
     print(output)
     return 0

@@ -142,6 +142,23 @@ class FlowTable:
             return flows
         return cls.from_records(flows)
 
+    @classmethod
+    def concat(cls, tables: Sequence["FlowTable"]) -> "FlowTable":
+        """Merge tables into a new one with canonical dictionary codes.
+
+        Equivalent to ``from_records(t0.to_records() + t1.to_records() + ...)``
+        — same rows, same pools, same codes, hence byte-identical under
+        :func:`~repro.store.codec.dump_table` — but without materializing any
+        records: each source table is remapped code-wise via
+        :meth:`extend_table`.  This is the merge primitive behind parallel
+        per-hour workload generation, where worker batches arrive with
+        batch-local pools and must land in one canonically coded table.
+        """
+        table = cls()
+        for source in tables:
+            table.extend_table(source)
+        return table
+
     def append(self, record: FlowRecord) -> None:
         """Append one record (intended for freshly built tables)."""
         self.extend((record,))
@@ -194,6 +211,60 @@ class FlowTable:
                 del self._numeric[name][self._length :]
             raise
         self._length = target
+
+    def extend_table(self, other: "FlowTable") -> None:
+        """Append another table's rows, remapping its dictionary codes.
+
+        The result is exactly what ``self.extend(other.to_records())`` would
+        produce: same rows, same pools, same codes.  Pools are per-column, so
+        the record path's row-major interning order is reproduced by remapping
+        column-at-a-time as long as each column's *novel* values are interned
+        in the order their first-carrying row appears — which is exactly the
+        iteration order of ``dict.fromkeys`` over the source code array.  Each
+        distinct source code then pays one pool probe and every row two
+        C-level dict lookups, regardless of pool size or sharing, so merging
+        is far cheaper than re-encoding records.  Tables that already share
+        this table's pools (slices, mask selections) skip the remap entirely.
+
+        Like :meth:`append_columns`, the append is atomic on the columns: the
+        remapped code arrays are fully built before any column is extended.
+        (Pools are append-only, so entries interned by a failed call are
+        harmless.)
+        """
+        count = other._length
+        if other._pools is self._pools:
+            remapped: Dict[str, Sequence[int]] = {
+                name: other._codes[name] for name in CATEGORICAL_COLUMNS
+            }
+        else:
+            remapped = {}
+            for name in CATEGORICAL_COLUMNS:
+                source = other._codes[name]
+                pool = other._pools[name].values
+                encode = self._pools[name].encode
+                remap = {code: encode(pool[code]) for code in dict.fromkeys(source)}
+                remapped[name] = array("i", map(remap.__getitem__, source))
+        self.append_columns(
+            count,
+            codes=remapped,
+            numeric={name: other._numeric[name] for name, _typecode in NUMERIC_COLUMNS},
+        )
+
+    def truncate(self, length: int) -> None:
+        """Drop every row at index ``length`` or beyond (pools are untouched).
+
+        Parallel generation workers reuse one pool-context table across hour
+        batches: each batch is appended, compacted out via :meth:`concat`, and
+        truncated away again so worker memory stays flat while the interned
+        plan values keep their codes.
+        """
+        if length < 0 or length > self._length:
+            raise ValueError(f"cannot truncate {self._length} rows to {length}")
+        for name in CATEGORICAL_COLUMNS:
+            del self._codes[name][length:]
+        for name, _typecode in NUMERIC_COLUMNS:
+            del self._numeric[name][length:]
+        self._length = length
 
     def assign_numeric(self, name: str, values: Iterable) -> None:
         """Replace one numeric column wholesale (length-checked).

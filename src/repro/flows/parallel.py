@@ -1,0 +1,179 @@
+"""Multiprocess per-hour workload generation.
+
+Hours of a study period are independent by construction: every hour draws
+exclusively from its own fresh ``workload:<hour-iso>`` stream (see
+:mod:`repro.simulation.rng`), so generating them in any order — or in
+different processes — consumes exactly the same random values per hour.  This
+module exploits that to fan the hours of
+:meth:`~repro.flows.workload.WorkloadGenerator.generate_period_table` out
+across a worker pool while keeping the output *byte-identical* to the serial
+path, which is what lets the artifact-store content address stay the same
+regardless of ``gen_workers``.
+
+Bit-identity rests on three invariants:
+
+1. **Per-hour streams.**  Workers derive each hour's stream from the pickled
+   :class:`~repro.simulation.rng.RngRegistry` exactly as the serial loop
+   would; no registered (stateful) stream is touched by a worker.
+2. **Canonical merge order.**  The parent first interns the per-period plan
+   values (every prefix, provider, server address, transport) in the same
+   order the serial path does, then merges the hour batches *in hour order*
+   through the pool-remapping :meth:`~repro.flows.flowtable.FlowTable.extend_table`
+   primitive.  During the merge the only novel categorical value per batch is
+   the hour's timestamp, which the parent interns explicitly — even for an
+   hour that produced zero flows, matching the serial path's unconditional
+   ``encode_value("timestamp", ...)``.
+3. **Serial scanner traffic.**  Scanner flows draw from the *registered*
+   ``scanner-traffic`` stream, whose state carries across days; they are
+   therefore generated in the parent, interleaved after each day's 24 hour
+   batches exactly as the serial path interleaves them.
+
+Workers hold one pool-context :class:`~repro.flows.flowtable.FlowTable` with
+the plan values interned once per worker; each hour batch is appended to it,
+compacted into a batch-local table via
+:meth:`~repro.flows.flowtable.FlowTable.concat`, shipped to the parent, and
+truncated away again, so worker memory stays flat and the pickled batch
+carries only the values its rows use.
+
+Scenario-level (:class:`~repro.sweeps.runner.SweepRunner`) and hour-level
+parallelism compose: :func:`effective_gen_workers` clamps the per-scenario
+worker count so the product of both levels never oversubscribes the visible
+CPUs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from datetime import datetime, time
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+from repro.flows.flowtable import FlowTable
+from repro.flows.scanners import append_scanner_flows
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only
+    from repro.flows.workload import WorkloadGenerator
+    from repro.simulation.clock import StudyPeriod
+
+#: Per-worker state installed by the pool initializer:
+#: (generator, pool-context table, encoded device plans, outage keys).
+_WORKER_STATE: Optional[Tuple["WorkloadGenerator", FlowTable, list, list]] = None
+
+
+def available_cpus() -> int:
+    """The number of CPUs this process may actually run on (>= 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def parallelism_usable() -> bool:
+    """Whether a worker pool can be created from this process.
+
+    ``multiprocessing.Pool`` workers are daemonic and may not have children;
+    code that is itself running inside such a worker must fall back to serial
+    generation.  (Sweep scenario workers run under a non-daemonic
+    ``ProcessPoolExecutor`` precisely so hour-level pools can nest inside
+    them.)
+    """
+    return not multiprocessing.current_process().daemon
+
+
+def effective_gen_workers(requested: Optional[int], scenario_workers: int = 1) -> int:
+    """Clamp hour-level workers so both parallelism levels fit the machine.
+
+    ``requested`` is the user's ``gen_workers`` knob (``None`` means serial).
+    With ``scenario_workers`` scenario processes running concurrently, each
+    may use at most ``cpus // scenario_workers`` hour workers, and never
+    fewer than one — the clamp is unconditional (it applies to a lone
+    scenario too), so ``scenario_workers x gen_workers`` can never exceed the
+    visible CPUs.  Oversubscribing with nested pools would only slow both
+    levels down; the clamp never changes any output, only wall-clock:
+    generation is byte-identical at every worker count.
+    """
+    if requested is None:
+        return 1
+    workers = max(1, int(requested))
+    scenario_workers = max(1, int(scenario_workers))
+    return max(1, min(workers, available_cpus() // scenario_workers))
+
+
+def _init_worker(generator: "WorkloadGenerator") -> None:
+    """Pool initializer: intern the per-period plan values once per worker."""
+    global _WORKER_STATE
+    table = FlowTable()
+    rows, outage_keys = generator._encoded_plans(table)
+    _WORKER_STATE = (generator, table, list(rows), list(outage_keys))
+
+
+def _hour_task(hour_iso: str) -> FlowTable:
+    """Generate one hour's flows and return them as a compact batch table.
+
+    The batch is appended to the worker's pool-context table (so the plan
+    codes resolve), compacted into a table whose pools hold only the values
+    the batch's rows actually reference, and truncated away again.
+    """
+    generator, table, rows, outage_keys = _WORKER_STATE
+    when = datetime.fromisoformat(hour_iso)
+    generator._append_hour_columns(table, rows, outage_keys, when)
+    batch = FlowTable.concat([table])
+    table.truncate(0)
+    return batch
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every pool in this codebase should use:
+    fork when the platform offers it (cheap, inherits large read-only state
+    such as the generator), spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def period_hours(period: "StudyPeriod") -> List[datetime]:
+    """Every hour of a study period, in generation order."""
+    return [
+        datetime.combine(day, time(hour=hour)) for day in period.days() for hour in range(24)
+    ]
+
+
+def generate_period_table_parallel(
+    generator: "WorkloadGenerator",
+    period: "StudyPeriod",
+    include_scanners: bool,
+    workers: int,
+) -> FlowTable:
+    """Fan the period's hours out across a pool; merge byte-identically.
+
+    The parent interns the plan values first (serial pool order), streams the
+    hour batches back in order via ``imap``, interns each hour's timestamp,
+    remap-merges the batch, and appends each day's scanner flows from its own
+    registered stream — reproducing the serial row and pool order exactly.
+    """
+    hours = period_hours(period)
+    workers = max(1, min(workers, len(hours)))
+    table = FlowTable()
+    generator._encoded_plans(table)
+    scanner_lines = generator.population.scanner_lines() if include_scanners else []
+    catalog = generator.server_catalog(ip_version=4) if include_scanners else []
+    context = pool_context()
+    chunksize = max(1, len(hours) // (workers * 4))
+    with context.Pool(
+        processes=workers, initializer=_init_worker, initargs=(generator,)
+    ) as pool:
+        batches: Iterator[FlowTable] = pool.imap(
+            _hour_task, [when.isoformat() for when in hours], chunksize=chunksize
+        )
+        position = 0
+        for day in period.days():
+            for _hour in range(24):
+                when = hours[position]
+                position += 1
+                batch = next(batches)
+                # Serial generation interns the timestamp even for an hour
+                # with zero flows; do the same so the pools stay identical.
+                table.encode_value("timestamp", when)
+                table.extend_table(batch)
+            if include_scanners:
+                append_scanner_flows(table, scanner_lines, catalog, day, generator.rng)
+    return table

@@ -242,7 +242,10 @@ class WorkloadGenerator:
     # -- flow generation (columnar path) -------------------------------------------
 
     def generate_period_table(
-        self, period: StudyPeriod, include_scanners: bool = True
+        self,
+        period: StudyPeriod,
+        include_scanners: bool = True,
+        workers: Optional[int] = None,
     ) -> FlowTable:
         """Columnar twin of :meth:`generate_period`: same flows, same order.
 
@@ -250,7 +253,20 @@ class WorkloadGenerator:
         columns; no :class:`FlowRecord` objects are created.  Under a fixed
         seed the result is bit-identical to
         ``FlowTable.from_records(self.generate_period(period))``.
+
+        With ``workers`` > 1 the hours are generated by a multiprocess pool
+        (see :mod:`repro.flows.parallel`): every hour draws from its own fresh
+        ``workload:<hour-iso>`` stream, so hours are independent and the
+        parallel result is byte-identical to the serial one — only wall-clock
+        changes.  The serial path is used when the pool cannot help (one
+        worker, a single hour) or cannot exist (already inside a daemonic
+        pool worker).
         """
+        if workers is not None and workers > 1:
+            from repro.flows.parallel import generate_period_table_parallel, parallelism_usable
+
+            if parallelism_usable() and period.n_days * 24 > 1:
+                return generate_period_table_parallel(self, period, include_scanners, workers)
         table = FlowTable()
         rows, outage_keys = self._encoded_plans(table)
         scanner_lines = self.population.scanner_lines() if include_scanners else []

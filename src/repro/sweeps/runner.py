@@ -4,11 +4,21 @@
 the selected metrics on every grid point.  Scenarios are completely
 independent — each worker builds its own world from the frozen config, and
 every random draw comes from named seeded streams — so executing them in a
-``multiprocessing`` pool produces bit-identical per-scenario results to a
-serial run; only wall-clock changes.  Workers bypass the in-process context
-LRU (``use_cache=False``) and rely on the shared on-disk
+process pool produces bit-identical per-scenario results to a serial run;
+only wall-clock changes.  Workers bypass the in-process context LRU
+(``use_cache=False``) and rely on the shared on-disk
 :class:`~repro.store.artifacts.ArtifactStore` instead, which both deduplicates
 work across repeated sweeps and keeps worker memory flat.
+
+Scenario-level and hour-level parallelism compose: ``gen_workers`` turns on
+multiprocess per-hour flow generation *inside* each scenario (see
+:mod:`repro.flows.parallel`), clamped via
+:func:`~repro.flows.parallel.effective_gen_workers` so the product of the two
+levels never oversubscribes the visible CPUs.  The scenario pool is a
+non-daemonic :class:`~concurrent.futures.ProcessPoolExecutor` precisely so the
+nested generation pools are allowed to exist; generation output is
+byte-identical at every worker count, so the composition changes wall-clock
+only.
 
 The ledger is one JSON object per line (scenario id, axis values, config
 digest, metrics, timing, error) so campaigns can be appended to, grepped, and
@@ -19,13 +29,14 @@ summary tables (e.g. outage impact vs. ``sampling_ratio`` × ``scale``).
 from __future__ import annotations
 
 import json
-import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.report import render_table
+from repro.flows.parallel import effective_gen_workers, pool_context
 from repro.simulation.config import ScenarioConfig
 from repro.sweeps.grid import ScenarioGrid, ScenarioSpec
 from repro.sweeps.metrics import resolve_metrics
@@ -34,7 +45,9 @@ from repro.sweeps.metrics import resolve_metrics
 LEDGER_SCHEMA = 1
 
 #: One scenario of work shipped to a pool worker (must stay picklable).
-_Payload = Tuple[str, Tuple[Tuple[str, object], ...], ScenarioConfig, Tuple[str, ...], Optional[str]]
+_Payload = Tuple[
+    str, Tuple[Tuple[str, object], ...], ScenarioConfig, Tuple[str, ...], Optional[str], int
+]
 
 
 @dataclass
@@ -58,14 +71,14 @@ def _execute_scenario(payload: _Payload) -> ScenarioOutcome:
     from repro.experiments.context import build_context
     from repro.store.artifacts import ArtifactStore, config_digest
 
-    scenario_id, axes, config, metric_names, store_root = payload
+    scenario_id, axes, config, metric_names, store_root, gen_workers = payload
     store = ArtifactStore(store_root) if store_root is not None else None
     start = time.perf_counter()
     metrics: Dict[str, object] = {}
     error: Optional[str] = None
     try:
         metric_fns = resolve_metrics(metric_names)
-        context = build_context(config, use_cache=False, store=store)
+        context = build_context(config, use_cache=False, store=store, gen_workers=gen_workers)
         for fn in metric_fns.values():
             metrics.update(fn(context))
     except Exception as exc:  # ledger rows must exist even for failed scenarios
@@ -225,33 +238,40 @@ class SweepRunner:
         workers: int = 1,
         store: Union[str, Path, None] = None,
         ledger_path: Union[str, Path, None] = None,
+        gen_workers: int = 1,
     ) -> None:
         resolve_metrics(metrics)  # fail fast on unknown names
         self.metrics = tuple(metrics)
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if gen_workers < 1:
+            raise ValueError("gen_workers must be >= 1")
         self.workers = workers
+        self.gen_workers = gen_workers
         self.store_root = str(store) if store is not None else None
         self.ledger_path = Path(ledger_path) if ledger_path is not None else None
 
-    def _payloads(self, specs: Sequence[ScenarioSpec]) -> List[_Payload]:
+    def _payloads(self, specs: Sequence[ScenarioSpec], gen_workers: int) -> List[_Payload]:
         return [
-            (spec.scenario_id, spec.axes, spec.config, self.metrics, self.store_root)
+            (spec.scenario_id, spec.axes, spec.config, self.metrics, self.store_root, gen_workers)
             for spec in specs
         ]
 
     def run(self, grid: ScenarioGrid) -> SweepResult:
         """Run every grid point; outcomes keep grid order regardless of workers."""
         specs = grid.specs()
-        payloads = self._payloads(specs)
-        workers = min(self.workers, len(payloads))
+        workers = min(self.workers, max(1, len(specs)))
+        # Clamp hour-level parallelism against the scenario workers actually
+        # used, so `workers x gen_workers` never exceeds the visible CPUs.
+        gen_workers = effective_gen_workers(self.gen_workers, workers)
+        payloads = self._payloads(specs, gen_workers)
         if workers <= 1:
             outcomes = [_execute_scenario(payload) for payload in payloads]
         else:
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-            with context.Pool(processes=workers) as pool:
-                outcomes = pool.map(_execute_scenario, payloads)
+            # Executor workers are non-daemonic (unlike multiprocessing.Pool's),
+            # so per-scenario generation pools may nest inside them.
+            with ProcessPoolExecutor(max_workers=workers, mp_context=pool_context()) as pool:
+                outcomes = list(pool.map(_execute_scenario, payloads))
         result = SweepResult(outcomes, grid.axis_names)
         if self.ledger_path is not None:
             result.write_ledger(self.ledger_path)

@@ -1,0 +1,199 @@
+"""Property/fuzz tests for FlowTable composition against a record-level model.
+
+The parallel generation path leans on a precise contract: merging tables with
+:meth:`FlowTable.concat` / :meth:`FlowTable.extend_table` must be *exactly*
+equivalent — rows, pools, codes, serialized bytes — to converting the
+concatenated record lists with :meth:`FlowTable.from_records`.  These tests
+pin that contract with randomized corpora: every composition operator
+(``concat``, ``extend_table``, slicing, ``select``/``select_mask``,
+``truncate``) is checked against the plain-list reference model, and byte
+equality under the store codec is asserted wherever pool order matters.
+
+No hypothesis dependency: the fuzzing is seeded ``random`` loops, so failures
+reproduce deterministically from the printed seed.
+"""
+
+import io
+import random
+from datetime import datetime
+
+import pytest
+
+from repro.flows.flowtable import FlowTable
+from repro.flows.netflow import make_flow
+from repro.store.codec import dump_table
+
+SEEDS = range(8)
+
+
+def table_bytes(table: FlowTable) -> bytes:
+    buffer = io.BytesIO()
+    dump_table(table, buffer)
+    return buffer.getvalue()
+
+
+def random_records(rng: random.Random, count: int):
+    """A random corpus with deliberately overlapping and novel pool values."""
+    providers = [f"provider-{i}" for i in range(rng.randint(1, 6))]
+    continents = ["EU", "NA", "AS", "SA"]
+    records = []
+    for _ in range(count):
+        ip_version = 6 if rng.random() < 0.25 else 4
+        server = (
+            f"fd00::{rng.randrange(1, 64):x}"
+            if ip_version == 6
+            else f"10.{rng.randrange(3)}.{rng.randrange(4)}.{rng.randrange(1, 64)}"
+        )
+        records.append(
+            make_flow(
+                timestamp=datetime(2022, 3, 1 + rng.randrange(4), rng.randrange(24)),
+                subscriber_id=rng.randrange(200),
+                subscriber_prefix=f"prefix-{rng.randrange(12)}",
+                ip_version=ip_version,
+                provider_key=rng.choice(providers),
+                server_ip=server,
+                server_continent=rng.choice(continents),
+                server_region=f"region-{rng.randrange(5)}",
+                transport=rng.choice(("tcp", "udp")),
+                port=rng.choice((443, 1883, 5683, 8883)),
+                bytes_down=rng.uniform(0.0, 50_000.0),
+                bytes_up=rng.uniform(0.0, 5_000.0),
+            )
+        )
+    return records
+
+
+def random_chunks(rng: random.Random, records):
+    """Split a corpus into random contiguous chunks (empty chunks included)."""
+    cuts = sorted(rng.randrange(len(records) + 1) for _ in range(rng.randrange(1, 6)))
+    bounds = [0, *cuts, len(records)]
+    return [records[a:b] for a, b in zip(bounds, bounds[1:])]
+
+
+class TestConcat:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_concat_equals_from_records_byte_for_byte(self, seed):
+        rng = random.Random(seed)
+        records = random_records(rng, rng.randrange(50, 300))
+        chunks = random_chunks(rng, records)
+        merged = FlowTable.concat([FlowTable.from_records(chunk) for chunk in chunks])
+        reference = FlowTable.from_records(records)
+        assert merged.to_records() == records
+        assert table_bytes(merged) == table_bytes(reference), f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_extend_table_equals_extend_records(self, seed):
+        rng = random.Random(seed)
+        left = random_records(rng, rng.randrange(0, 150))
+        right = random_records(rng, rng.randrange(0, 150))
+        via_tables = FlowTable.from_records(left)
+        via_tables.extend_table(FlowTable.from_records(right))
+        via_records = FlowTable.from_records(left)
+        via_records.extend(right)
+        assert table_bytes(via_tables) == table_bytes(via_records), f"seed={seed}"
+
+    def test_concat_of_empties_is_empty(self):
+        assert len(FlowTable.concat([])) == 0
+        assert len(FlowTable.concat([FlowTable(), FlowTable()])) == 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shared_pool_sources_slices_stay_equivalent(self, seed):
+        """Slices share their parent's (larger, differently ordered) pools;
+        remapping must still reproduce the record path exactly."""
+        rng = random.Random(seed)
+        records = random_records(rng, 200)
+        parent = FlowTable.from_records(records)
+        lo = rng.randrange(0, 100)
+        hi = rng.randrange(lo, 200)
+        target = FlowTable()
+        target.extend_table(parent[lo:hi])
+        assert table_bytes(target) == table_bytes(FlowTable.from_records(records[lo:hi]))
+
+    def test_extend_table_with_shared_pools_skips_the_remap(self):
+        records = random_records(random.Random(3), 120)
+        parent = FlowTable.from_records(records)
+        view = parent[10:50]  # shares parent._pools
+        parent.extend_table(view)
+        assert parent.to_records() == records + records[10:50]
+
+
+class TestTruncate:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_truncate_matches_list_slicing(self, seed):
+        rng = random.Random(seed)
+        records = random_records(rng, rng.randrange(1, 120))
+        table = FlowTable.from_records(records)
+        keep = rng.randrange(0, len(records) + 1)
+        table.truncate(keep)
+        assert len(table) == keep
+        assert table.to_records() == records[:keep]
+
+    def test_truncate_keeps_pools_so_codes_stay_valid(self):
+        records = random_records(random.Random(5), 80)
+        table = FlowTable.from_records(records)
+        table.truncate(0)
+        # Re-appending after a truncate reuses the interned pool values.
+        table.extend(records)
+        assert table.to_records() == records
+
+    def test_truncate_rejects_bad_lengths(self):
+        table = FlowTable.from_records(random_records(random.Random(1), 10))
+        with pytest.raises(ValueError):
+            table.truncate(-1)
+        with pytest.raises(ValueError):
+            table.truncate(11)
+
+
+class TestStatefulFuzz:
+    """A random op sequence against the plain-list reference model."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_composition_sequences(self, seed):
+        rng = random.Random(1000 + seed)
+        model = []
+        table = FlowTable()
+        for _step in range(12):
+            op = rng.randrange(4)
+            if op == 0:  # append a fresh random chunk via extend_table
+                chunk = random_records(rng, rng.randrange(0, 60))
+                table.extend_table(FlowTable.from_records(chunk))
+                model.extend(chunk)
+            elif op == 1 and model:  # truncate to a random length
+                keep = rng.randrange(0, len(model) + 1)
+                table.truncate(keep)
+                del model[keep:]
+            elif op == 2 and model:  # re-append a slice of ourselves
+                lo = rng.randrange(0, len(model))
+                hi = rng.randrange(lo, len(model) + 1)
+                table.extend_table(table[lo:hi])
+                model.extend(model[lo:hi])
+            else:  # select a random subset, continue on the selection
+                indices = [i for i in range(len(model)) if rng.random() < 0.7]
+                table = table.select(indices)
+                model = [model[i] for i in indices]
+            assert len(table) == len(model), f"seed={seed}"
+            assert table.to_records() == model, f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_select_mask_and_slice_round_trips(self, seed):
+        rng = random.Random(2000 + seed)
+        records = random_records(rng, rng.randrange(1, 150))
+        table = FlowTable.from_records(records)
+        mask = [1 if rng.random() < 0.5 else 0 for _ in records]
+        selected = table.select_mask(mask)
+        assert selected.to_records() == [r for r, keep in zip(records, mask) if keep]
+        lo = rng.randrange(-len(records), len(records))
+        step = rng.choice((1, 2, 3, -1, -2))
+        assert table[lo::step].to_records() == records[lo::step]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_concat_then_dump_load_round_trip(self, seed):
+        from repro.store.codec import load_table
+
+        rng = random.Random(3000 + seed)
+        records = random_records(rng, rng.randrange(1, 200))
+        chunks = random_chunks(rng, records)
+        merged = FlowTable.concat([FlowTable.from_records(chunk) for chunk in chunks])
+        reloaded = load_table(io.BytesIO(table_bytes(merged)))
+        assert reloaded.to_records() == records
+        assert table_bytes(reloaded) == table_bytes(merged)

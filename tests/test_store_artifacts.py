@@ -126,7 +126,7 @@ class TestWarmStart:
         cold_records = cold.world.flows_table(PERIOD).to_records()
 
         # A warm world must never call the generator again.
-        def boom(self, period, include_scanners=True):
+        def boom(self, period, include_scanners=True, workers=None):
             raise AssertionError("generator ran despite a warm store")
 
         monkeypatch.setattr(WorkloadGenerator, "generate_period_table", boom)
