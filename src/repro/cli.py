@@ -19,8 +19,19 @@ and the scenario-scale subsystem::
     iot-backend-repro sweep --axis sampling_ratio=1,10 --axis scale=0.01,0.02 \\
         --metrics traffic,outage --workers 4 --ledger sweep.jsonl
                                         # parallel multi-scenario campaign
+    iot-backend-repro sweep --axis scale=0.01,0.02 --resume sweep.jsonl \\
+        --retries 2 --timeout 600       # resume an interrupted campaign
     iot-backend-repro cache ls          # list the on-disk artifact store
     iot-backend-repro cache prune       # delete cached artifacts
+
+Sweeps are fault tolerant: every scenario attempt is appended to the ledger
+the moment it finishes (so a killed run loses nothing that completed),
+``--retries N`` re-runs failed or timed-out scenarios with exponential
+backoff (``--backoff``), ``--timeout SECONDS`` bounds each scenario's wall
+clock, ``--max-failures N`` opens a circuit breaker after N consecutive
+scenario failures, and ``--resume LEDGER`` skips every scenario the ledger
+already records as ``ok`` and re-runs the rest — per-scenario metrics are
+bit-identical to an uninterrupted run, only timing fields differ.
 
 Common options select the scenario scale and seed; ``--store DIR`` attaches the
 persistent artifact cache so repeated invocations warm-start from disk.  The
@@ -65,6 +76,26 @@ def _positive_float(text: str) -> float:
         raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be a positive number, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -236,6 +267,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--ledger", default=None, metavar="PATH", help="write the JSONL results ledger here"
     )
     sweep.add_argument(
+        "--resume",
+        default=None,
+        metavar="LEDGER",
+        help="resume an interrupted campaign: skip scenarios this ledger records "
+        "as ok, re-run the rest, append to it (or to --ledger when given)",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="re-run a failed or timed-out scenario up to N times (default 0)",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-scenario wall-clock limit, enforced inside the worker "
+        "(default: unlimited)",
+    )
+    sweep.add_argument(
+        "--backoff",
+        type=_nonnegative_float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base delay before a retry, doubled per attempt (default 0.5)",
+    )
+    sweep.add_argument(
+        "--max-failures",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="circuit breaker: stop submitting scenarios after N consecutive "
+        "failures (in-flight work still drains; default: never)",
+    )
+    sweep.add_argument(
         "--pivot",
         default=None,
         metavar="METRIC",
@@ -260,7 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> Tuple[str, int]:
-    from repro.sweeps import ScenarioGrid, SweepRunner
+    from repro.sweeps import LedgerError, ScenarioGrid, SweepRunner
 
     base = _make_config(args)
     try:
@@ -272,22 +340,35 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> Tup
             store=args.store,
             ledger_path=args.ledger,
             gen_workers=args.gen_workers if args.gen_workers is not None else 1,
+            retries=args.retries,
+            timeout=args.timeout,
+            backoff=args.backoff,
+            max_consecutive_failures=args.max_failures,
         )
     except ValueError as error:
         parser.error(str(error))
-    result = runner.run(grid)
+    try:
+        result = runner.run(grid, resume=args.resume)
+    except (FileNotFoundError, LedgerError) as error:
+        parser.error(f"--resume: {error}")
     sections = [result.render_results()]
     pivot_metric = args.pivot or (result.metric_names()[0] if result.metric_names() else None)
     if pivot_metric is not None:
         axes = grid.axis_names
         col_axis = axes[1] if len(axes) > 1 else None
         sections.append(result.render_pivot(pivot_metric, axes[0], col_axis))
-    if args.ledger:
-        sections.append(f"ledger written to {args.ledger}")
+    if args.resume:
+        sections.append(
+            f"resumed from {args.resume}: {result.reused_count} scenario(s) reused, "
+            f"{len(result) - result.reused_count} re-run"
+        )
+    ledger_target = args.ledger or args.resume
+    if ledger_target:
+        sections.append(f"ledger written to {ledger_target}")
     failures = result.failures()
     if failures:
         sections.append(
-            "FAILED scenarios:\n"
+            f"{len(failures)} of {len(result)} scenarios FAILED:\n"
             + "\n".join(f"  {outcome.scenario_id}: {outcome.error}" for outcome in failures)
         )
     return "\n\n".join(sections), 1 if failures else 0

@@ -26,6 +26,15 @@ Writes are atomic (temp file + ``os.replace``) so concurrent sweep workers can
 share one store directory; a corrupt or truncated artifact is treated as a
 cache miss and removed.  Every payload file has a JSON sidecar with
 human-readable metadata, which powers ``iot-backend-repro cache ls``.
+
+Artifacts live in a **digest-sharded layout**: payload and sidecar of digest
+``abcdef…`` are stored under ``ab/cdef….rft`` / ``ab/cdef….json``, fanning a
+campaign's files out over up to 256 subdirectories so thousand-scenario
+sweeps do not serialize on one hot directory.  Stores written by earlier
+versions used a flat layout (``abcdef….rft`` at the root); reads fall back to
+the flat path transparently, and re-writing an artifact migrates it into its
+shard (removing the flat copy), so old stores keep working without a
+migration step.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -146,10 +156,29 @@ class ArtifactStore:
     # -- addressing --------------------------------------------------------------
 
     def _payload_path(self, digest: str) -> Path:
-        return self.root / f"{digest}{_PAYLOAD_SUFFIX}"
+        """The sharded (``ab/cdef…``) payload path of one digest."""
+        return self.root / digest[:2] / f"{digest[2:]}{_PAYLOAD_SUFFIX}"
 
     def _meta_path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest[2:]}{_META_SUFFIX}"
+
+    def _legacy_payload_path(self, digest: str) -> Path:
+        """The pre-sharding flat payload path (read/cleanup compatibility)."""
+        return self.root / f"{digest}{_PAYLOAD_SUFFIX}"
+
+    def _legacy_meta_path(self, digest: str) -> Path:
         return self.root / f"{digest}{_META_SUFFIX}"
+
+    def _open_payload(self, digest: str):
+        """Open the payload of a digest, trying sharded then legacy layout."""
+        try:
+            return self._payload_path(digest).open("rb")
+        except FileNotFoundError:
+            return self._legacy_payload_path(digest).open("rb")
+
+    def _tmp_suffix(self) -> str:
+        """Unique temp-file suffix per writer (process *and* thread)."""
+        return f".tmp-{os.getpid()}-{threading.get_ident()}"
 
     # -- read / write ------------------------------------------------------------
 
@@ -162,9 +191,8 @@ class ArtifactStore:
         skew) counts as a miss and is deleted so the slot can be rebuilt.
         """
         digest = scenario_fingerprint(config, period, stage)
-        path = self._payload_path(digest)
         try:
-            with path.open("rb") as stream:
+            with self._open_payload(digest) as stream:
                 return load_table(stream)
         except FileNotFoundError:
             return None
@@ -178,7 +206,8 @@ class ArtifactStore:
         """Persist a table under its scenario fingerprint (atomic)."""
         digest = scenario_fingerprint(config, period, stage)
         path = self._payload_path(digest)
-        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}{self._tmp_suffix()}")
         try:
             with tmp.open("wb") as stream:
                 dump_table(table, stream)
@@ -216,9 +245,8 @@ class ArtifactStore:
         discovery run and rebuild the slot.
         """
         digest = scenario_fingerprint(config, period, self._pipeline_fingerprint_stage(stage))
-        path = self._payload_path(digest)
         try:
-            with path.open("rb") as stream:
+            with self._open_payload(digest) as stream:
                 return load_pipeline_result(stream)
         except FileNotFoundError:
             return None
@@ -232,7 +260,8 @@ class ArtifactStore:
         """Persist a pipeline result under its scenario fingerprint (atomic)."""
         digest = scenario_fingerprint(config, period, self._pipeline_fingerprint_stage(stage))
         path = self._payload_path(digest)
-        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}{self._tmp_suffix()}")
         try:
             with tmp.open("wb") as stream:
                 dump_pipeline_result(result, stream)
@@ -271,18 +300,32 @@ class ArtifactStore:
             "fingerprint_version": FINGERPRINT_VERSION,
             "codec_version": CODEC_VERSION,
         }
-        meta_tmp = self._meta_path(digest).with_name(f"{digest}{_META_SUFFIX}.tmp-{os.getpid()}")
+        meta_path = self._meta_path(digest)
+        meta_path.parent.mkdir(parents=True, exist_ok=True)
+        meta_tmp = meta_path.with_name(f"{meta_path.name}{self._tmp_suffix()}")
         try:
             meta_tmp.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
-            os.replace(meta_tmp, self._meta_path(digest))
+            os.replace(meta_tmp, meta_path)
         finally:
             if meta_tmp.exists():
                 meta_tmp.unlink()
+        # Migration on write: a re-written artifact supersedes any flat-layout
+        # copy of itself, so the legacy files are dropped to avoid duplicates.
+        for legacy in (self._legacy_payload_path(digest), self._legacy_meta_path(digest)):
+            try:
+                legacy.unlink()
+            except OSError:
+                pass
 
     def _discard(self, digest: str) -> int:
-        """Remove one artifact (payload + sidecar); return the bytes freed."""
+        """Remove one artifact (payload + sidecar, both layouts); return bytes freed."""
         freed = 0
-        for path in (self._payload_path(digest), self._meta_path(digest)):
+        for path in (
+            self._payload_path(digest),
+            self._meta_path(digest),
+            self._legacy_payload_path(digest),
+            self._legacy_meta_path(digest),
+        ):
             try:
                 freed += path.stat().st_size
                 path.unlink()
@@ -292,10 +335,22 @@ class ArtifactStore:
 
     # -- inspection / maintenance ------------------------------------------------
 
+    def _meta_paths(self) -> List[Path]:
+        """Every sidecar file, sharded layout first, then legacy flat files."""
+        return sorted(self.root.glob(f"*/*{_META_SUFFIX}")) + sorted(
+            self.root.glob(f"*{_META_SUFFIX}")
+        )
+
+    def _payload_exists(self, digest: str) -> bool:
+        return (
+            self._payload_path(digest).exists() or self._legacy_payload_path(digest).exists()
+        )
+
     def entries(self) -> List[ArtifactEntry]:
-        """All stored artifacts, oldest first."""
+        """All stored artifacts (either layout), oldest first."""
         entries: List[ArtifactEntry] = []
-        for meta_path in sorted(self.root.glob(f"*{_META_SUFFIX}")):
+        seen: set = set()
+        for meta_path in self._meta_paths():
             try:
                 meta = json.loads(meta_path.read_text())
                 entry = ArtifactEntry(
@@ -309,7 +364,12 @@ class ArtifactStore:
                 )
             except (OSError, ValueError, KeyError, json.JSONDecodeError):
                 continue
-            if self._payload_path(entry.digest).exists():
+            # Sharded sidecars are listed first, so they win over a stale
+            # legacy duplicate of the same digest.
+            if entry.digest in seen:
+                continue
+            if self._payload_exists(entry.digest):
+                seen.add(entry.digest)
                 entries.append(entry)
         entries.sort(key=lambda entry: (entry.created, entry.digest))
         return entries
@@ -333,16 +393,24 @@ class ArtifactStore:
             freed += self._discard(entry.digest)
             removed += 1
         if older_than_seconds is None:
-            for path in self.root.glob(f"*{_PAYLOAD_SUFFIX}"):
-                try:
-                    freed += path.stat().st_size
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
-            for path in self.root.glob(f"*{_META_SUFFIX}"):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+            for pattern in (f"*{_PAYLOAD_SUFFIX}", f"*/*{_PAYLOAD_SUFFIX}"):
+                for path in self.root.glob(pattern):
+                    try:
+                        freed += path.stat().st_size
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+            for pattern in (f"*{_META_SUFFIX}", f"*/*{_META_SUFFIX}"):
+                for path in self.root.glob(pattern):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()  # only empty shard directories go away
+                    except OSError:
+                        pass
         return removed, freed

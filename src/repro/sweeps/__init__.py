@@ -9,21 +9,43 @@ into campaigns:
 * :mod:`repro.sweeps.metrics` — small named metric functions
   (``context -> {name: scalar}``) evaluated per scenario.
 * :mod:`repro.sweeps.runner` — :class:`SweepRunner` executes the grid across
-  multiprocess workers (per-scenario generation is independent and fully
-  seeded, so parallel results are bit-identical to serial ones), writes a
-  JSONL results ledger, and pivots cross-scenario summary tables such as
-  outage impact vs. ``sampling_ratio`` × ``scale``.
+  crash-isolated multiprocess workers (per-scenario generation is independent
+  and fully seeded, so parallel results are bit-identical to serial ones),
+  appends every scenario attempt to an incremental JSONL ledger the moment it
+  settles, retries failures with exponential backoff under a per-scenario
+  wall-clock timeout and a consecutive-failure circuit breaker, resumes
+  interrupted campaigns from their ledger (``run(grid, resume=...)``), and
+  pivots cross-scenario summary tables such as outage impact vs.
+  ``sampling_ratio`` × ``scale``.
 """
 
 from repro.sweeps.grid import ScenarioGrid, ScenarioSpec
 from repro.sweeps.metrics import SWEEP_METRICS, available_metrics
-from repro.sweeps.runner import ScenarioOutcome, SweepResult, SweepRunner
+from repro.sweeps.runner import (
+    LEDGER_SCHEMA,
+    NONDETERMINISTIC_LEDGER_FIELDS,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RETRIED,
+    STATUS_TIMEOUT,
+    LedgerError,
+    ScenarioOutcome,
+    SweepResult,
+    SweepRunner,
+)
 
 __all__ = [
     "ScenarioGrid",
     "ScenarioSpec",
     "SWEEP_METRICS",
     "available_metrics",
+    "LEDGER_SCHEMA",
+    "NONDETERMINISTIC_LEDGER_FIELDS",
+    "STATUS_OK",
+    "STATUS_FAILED",
+    "STATUS_TIMEOUT",
+    "STATUS_RETRIED",
+    "LedgerError",
     "ScenarioOutcome",
     "SweepResult",
     "SweepRunner",

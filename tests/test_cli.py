@@ -95,6 +95,56 @@ def test_sweep_command_runs_a_grid(capsys, tmp_path):
     assert len(ledger.read_text().splitlines()) == 2
 
 
+def test_sweep_resume_reuses_completed_scenarios(capsys, tmp_path):
+    ledger = tmp_path / "ledger.jsonl"
+    base_args = [
+        "sweep",
+        "--small",
+        "--subscriber-lines", "40",
+        "--axis", "sampling_ratio=1,4",
+        "--metrics", "traffic",
+        "--workers", "1",
+    ]
+    assert main([*base_args, "--ledger", str(ledger)]) == 0
+    capsys.readouterr()
+    exit_code = main([*base_args, "--resume", str(ledger)])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "resumed from" in out
+    assert "2 scenario(s) reused" in out and "0 re-run" in out
+    assert len(ledger.read_text().splitlines()) == 2, "a full resume appends nothing"
+
+
+def test_sweep_resume_rejects_missing_or_corrupt_ledger(capsys, tmp_path):
+    args = ["sweep", "--small", "--subscriber-lines", "40", "--axis", "sampling_ratio=1"]
+    with pytest.raises(SystemExit) as excinfo:
+        main([*args, "--resume", str(tmp_path / "nope.jsonl")])
+    assert excinfo.value.code == 2
+    assert "--resume" in capsys.readouterr().err
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"schema": 99}\n{"schema": 99}\n')
+    with pytest.raises(SystemExit) as excinfo:
+        main([*args, "--resume", str(bad)])
+    assert excinfo.value.code == 2
+    assert "unknown ledger schema" in capsys.readouterr().err
+
+
+def test_sweep_retry_and_timeout_flags_reach_the_runner():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        [
+            "sweep", "--small", "--axis", "sampling_ratio=1",
+            "--retries", "2", "--timeout", "30", "--backoff", "0.1", "--max-failures", "5",
+        ]
+    )
+    assert args.retries == 2
+    assert args.timeout == 30.0
+    assert args.backoff == 0.1
+    assert args.max_failures == 5
+
+
 def test_sweep_rejects_bad_axis(capsys):
     with pytest.raises(SystemExit):
         main(["sweep", "--small", "--axis", "bogus_field=1,2"])
@@ -149,5 +199,5 @@ def test_sweep_exits_nonzero_when_scenarios_fail(capsys, monkeypatch):
     )
     out = capsys.readouterr().out
     assert exit_code == 1
-    assert "FAILED scenarios" in out
+    assert "1 of 1 scenarios FAILED" in out
     assert "boom" in out

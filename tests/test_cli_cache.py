@@ -54,8 +54,9 @@ def store(tmp_path):
 def populate(store: ArtifactStore, stages=("a", "b")) -> list:
     digests = []
     for stage in stages:
+        # Payloads live in the sharded layout: <root>/ab/cdef....rft.
         path = store.put_table(CONFIG, PERIOD, f"stage:{stage}", tiny_table())
-        digests.append(path.stem)
+        digests.append(path.parent.name + path.stem)
     return digests
 
 
@@ -77,10 +78,11 @@ class TestCacheLs:
         digests = populate(store)
         victim, survivor = digests
         # Corrupted sidecar: not JSON at all.
-        (store.root / f"{victim}.json").write_bytes(b"\x00garbage, not json\xff")
+        store._meta_path(victim).write_bytes(b"\x00garbage, not json\xff")
         # Truncated sidecar: valid prefix of real JSON, cut mid-object.
-        truncated = store.put_table(CONFIG, PERIOD, "stage:trunc", tiny_table()).stem
-        meta_path = store.root / f"{truncated}.json"
+        trunc_payload = store.put_table(CONFIG, PERIOD, "stage:trunc", tiny_table())
+        truncated = trunc_payload.parent.name + trunc_payload.stem
+        meta_path = store._meta_path(truncated)
         meta_path.write_text(meta_path.read_text()[: len(meta_path.read_text()) // 2])
         assert main(["cache", "ls", "--store", str(store.root)]) == 0
         out = capsys.readouterr().out
@@ -122,7 +124,7 @@ class TestCachePrune:
     def test_prune_age_cutoff_drops_old_artifacts(self, store, capsys):
         digests = populate(store)
         # Backdate one artifact's sidecar far beyond the cutoff.
-        meta_path = store.root / f"{digests[0]}.json"
+        meta_path = store._meta_path(digests[0])
         meta = json.loads(meta_path.read_text())
         meta["created"] = meta["created"] - 10 * 86400.0
         meta_path.write_text(json.dumps(meta))

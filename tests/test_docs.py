@@ -87,6 +87,30 @@ def test_gen_workers_flag_is_documented_everywhere():
     assert "--gen-workers" in ARCHITECTURE.read_text(encoding="utf-8")
 
 
+def test_fault_tolerance_flags_are_documented_everywhere():
+    """The sweep fault-tolerance surface must stay documented as one unit.
+
+    ``--resume``, ``--retries``, and ``--timeout`` must be exposed by the
+    sweep parser and described in the README, the CLI module docstring, and
+    the architecture guide's fault-tolerance section.
+    """
+    parser = cli.build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            sub = action.choices["sweep"]
+            flags = [flag for a in sub._actions for flag in a.option_strings]
+            for flag in ("--resume", "--retries", "--timeout", "--backoff", "--max-failures"):
+                assert flag in flags, f"sweep lost the {flag} option"
+    readme = README.read_text(encoding="utf-8")
+    architecture = ARCHITECTURE.read_text(encoding="utf-8")
+    for flag in ("--resume", "--retries", "--timeout"):
+        assert flag in readme, f"{flag} is not documented in README.md"
+        assert flag in cli.__doc__, f"{flag} is not in the repro.cli docstring"
+    assert "Fault tolerance" in architecture
+    for concept in ("ledger", "circuit breaker", "resume", "sharded"):
+        assert concept in architecture, f"ARCHITECTURE.md does not mention {concept!r}"
+
+
 def test_readme_documents_install_and_benchmarks():
     text = README.read_text(encoding="utf-8")
     assert "PYTHONPATH=src" in text

@@ -75,9 +75,10 @@ class TestByteIdentity:
         for workers in (1, 2, 4):
             store = ArtifactStore(tmp_path / f"workers-{workers}")
             store.put_table(CONFIG, PERIOD, stage, generate(workers))
-            files = sorted(p.name for p in store.root.glob("*.rft"))
-            assert files == [f"{digest}.rft"]
-            payloads[workers] = (store.root / files[0]).read_bytes()
+            # Payloads live in the digest-sharded layout: <root>/ab/cdef....rft.
+            files = sorted(store.root.glob("*/*.rft"))
+            assert [f.parent.name + f.stem for f in files] == [digest]
+            payloads[workers] = files[0].read_bytes()
         assert payloads[1] == payloads[2] == payloads[4] == serial_bytes
 
     def test_world_gen_workers_knob_feeds_generation(self, serial_bytes):

@@ -1,6 +1,8 @@
 """Tests for the content-addressed artifact store and its warm-start wiring."""
 
 import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from datetime import date
 
 import pytest
@@ -117,6 +119,78 @@ class TestStore:
         removed, _freed = store.prune(older_than_seconds=3600.0)
         assert removed == 0
         assert len(store.entries()) == 1
+
+
+class TestShardedLayout:
+    def test_payloads_live_in_two_level_fanout(self, store, table):
+        path = store.put_table(_tiny(), PERIOD, "stage", table)
+        digest = scenario_fingerprint(_tiny(), PERIOD, "stage")
+        assert path == store.root / digest[:2] / f"{digest[2:]}.rft"
+        assert path.exists()
+        sidecar = store._meta_path(digest)
+        assert sidecar.parent == path.parent and sidecar.exists()
+
+    def test_legacy_flat_layout_reads_transparently(self, store, table):
+        """Artifacts written by the pre-sharding store must stay readable."""
+        config = _tiny()
+        path = store.put_table(config, PERIOD, "stage", table)
+        digest = path.parent.name + path.stem
+        # Demote the artifact to the legacy flat layout by hand.
+        flat_payload = store.root / f"{digest}.rft"
+        flat_meta = store.root / f"{digest}.json"
+        path.rename(flat_payload)
+        store._meta_path(digest).rename(flat_meta)
+        path.parent.rmdir()
+        loaded = store.get_table(config, PERIOD, "stage")
+        assert loaded is not None
+        assert loaded.to_records() == table.to_records()
+        assert digest in {entry.digest for entry in store.entries()}
+
+    def test_rewrite_migrates_legacy_artifacts_to_shards(self, store, table):
+        config = _tiny()
+        path = store.put_table(config, PERIOD, "stage", table)
+        digest = path.parent.name + path.stem
+        flat_payload = store.root / f"{digest}.rft"
+        flat_meta = store.root / f"{digest}.json"
+        path.rename(flat_payload)
+        store._meta_path(digest).rename(flat_meta)
+        path.parent.rmdir()
+        # Re-putting the same artifact adopts the sharded layout and retires
+        # the flat copy, so the store never holds two copies of one digest.
+        store.put_table(config, PERIOD, "stage", table)
+        assert path.exists() and store._meta_path(digest).exists()
+        assert not flat_payload.exists() and not flat_meta.exists()
+        assert len(store.entries()) == 1
+
+    def test_prune_cleans_both_layouts_and_empty_shards(self, store, table):
+        config = _tiny()
+        path = store.put_table(config, PERIOD, "sharded", table)
+        digest = path.parent.name + path.stem
+        (store.root / f"{digest}.rft").write_bytes(path.read_bytes())
+        removed, _freed = store.prune()
+        assert removed >= 1
+        assert list(store.root.iterdir()) == [], "prune must leave no shard dirs behind"
+
+    def test_concurrent_writers_of_one_digest_all_succeed(self, store, table):
+        """Racing writers must never corrupt the artifact (atomic os.replace)."""
+        config = _tiny()
+        n_writers = 8
+        barrier = threading.Barrier(n_writers)
+
+        def write():
+            barrier.wait()
+            return store.put_table(config, PERIOD, "raced", table)
+
+        with ThreadPoolExecutor(max_workers=n_writers) as pool:
+            paths = [future.result() for future in [pool.submit(write) for _ in range(n_writers)]]
+        assert len({str(p) for p in paths}) == 1, "all writers converge on one payload path"
+        loaded = store.get_table(config, PERIOD, "raced")
+        assert loaded is not None
+        assert loaded.to_records() == table.to_records()
+        assert len(store.entries()) == 1
+        # No temp files may survive the race.
+        strays = [p.name for p in store.root.rglob("*") if ".tmp-" in p.name]
+        assert strays == [], strays
 
 
 class TestWarmStart:

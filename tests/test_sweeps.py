@@ -113,8 +113,12 @@ class TestSweepRunner:
         assert len(lines) == 4
         for line in lines:
             row = json.loads(line)
-            assert row["schema"] == 1
+            assert row["schema"] == 2
             assert row["error"] is None
+            assert row["status"] == "ok"
+            assert row["attempt"] == 1
+            assert row["worker_id"]
+            assert row["ended_at"] >= row["started_at"] > 0
         restored = SweepResult.read_ledger(path)
         assert [outcome.metrics for outcome in restored.outcomes] == [
             outcome.metrics for outcome in serial.outcomes
