@@ -32,6 +32,7 @@ from conftest import emit
 from repro.core.discovery import BackendDiscovery
 from repro.core.patterns import PatternSet
 from repro.core.pipeline import DiscoveryPipeline
+from repro.obs.bench import bench_env
 from repro.scan.censys import CensysSnapshot
 from repro.simulation.clock import StudyPeriod
 from repro.simulation.config import ScenarioConfig
@@ -138,6 +139,7 @@ def test_perf_discovery_incremental_and_persisted(tmp_path, monkeypatch):
     warm_speedup = pipeline_cold_seconds / warm_seconds
     payload = {
         "benchmark": "discovery-incremental",
+        **bench_env(),
         "days": len(days),
         "hosts_per_day": round(sum(len(s) for s in base_snapshots) / len(base_snapshots), 1),
         "cache_hits": cache_hits,

@@ -20,6 +20,7 @@ from conftest import emit
 
 from repro.flows.flowtable import FlowTable
 from repro.flows.netflow import make_flow
+from repro.obs.bench import bench_env
 
 FLOW_COUNT = 500_000
 
@@ -117,6 +118,7 @@ def test_perf_flowtable_grouped_aggregation():
 
     payload = {
         "benchmark": "flowtable-grouped-aggregation",
+        **bench_env(),
         "flow_count": len(flows),
         "group_count": len(table_volume),
         "build_seconds": round(build_seconds, 4),

@@ -24,6 +24,7 @@ from pathlib import Path
 from conftest import emit
 
 from repro.flows.parallel import available_cpus
+from repro.obs.bench import bench_env
 from repro.store.codec import dump_table
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_genpar.json"
@@ -73,6 +74,7 @@ def test_perf_parallel_generation(context):
     enforced = cpus >= ENFORCE_MIN_CPUS
     payload = {
         "benchmark": "parallel-hour-generation",
+        **bench_env(),
         "flow_count": len(serial_table),
         "days": period.n_days,
         "hours": period.n_days * 24,

@@ -21,6 +21,7 @@ from repro.core.patterns import PatternSet
 from repro.core.providers import PROVIDERS
 from repro.dns.names import SUBDOMAIN_FIXED, build_fqdn, region_label
 from repro.netmodel.geo import world_locations
+from repro.obs.bench import bench_env
 
 #: Full corpus size for the compiled engine; the legacy path is timed on a
 #: sample and scaled, because the seed implementation would take many seconds.
@@ -111,6 +112,7 @@ def test_perf_matcher_bulk_classification():
     speedup = engine_ops / legacy_ops
     payload = {
         "benchmark": "matcher-bulk-classification",
+        **bench_env(),
         "corpus_size": len(corpus),
         "distinct_names": len(set(corpus)),
         "legacy_sample_size": len(sample),

@@ -24,6 +24,7 @@ from pathlib import Path
 from conftest import emit
 
 from repro.experiments.context import build_context
+from repro.obs.bench import bench_env
 from repro.simulation.config import ScenarioConfig
 from repro.store.artifacts import ArtifactStore
 from repro.store.codec import dumps_table, loads_table
@@ -68,6 +69,7 @@ def test_perf_store_warm_context(tmp_path):
     warm_speedup = cold_seconds / warm_seconds
     payload = {
         "benchmark": "store-warm-context",
+        **bench_env(),
         "rows": len(cold_table),
         "cold_seconds": round(cold_seconds, 4),
         "warm_seconds": round(warm_seconds, 4),

@@ -26,6 +26,7 @@ from pathlib import Path
 
 from conftest import emit
 
+from repro.obs.bench import bench_env
 from repro.simulation.config import ScenarioConfig
 from repro.sweeps import ScenarioGrid, SweepRunner
 from repro.sweeps import runner as runner_module
@@ -88,6 +89,7 @@ def test_perf_sweep_fault_tolerance(tmp_path):
 
     payload = {
         "benchmark": "sweep-fault-tolerance",
+        **bench_env(),
         "scenarios": n_scenarios,
         "full_seconds": round(full_seconds, 4),
         "resume_seconds": round(resume_seconds, 4),

@@ -21,6 +21,7 @@ from pathlib import Path
 from conftest import emit
 
 from repro.flows.netflow import NetFlowCollector
+from repro.obs.bench import bench_env
 from repro.simulation.clock import StudyPeriod
 from repro.simulation.rng import RngRegistry
 
@@ -62,6 +63,7 @@ def test_perf_workload_generation(context):
     speedup = record_seconds / columnar_seconds
     payload = {
         "benchmark": "workload-columnar-generation",
+        **bench_env(),
         "flow_count": len(records),
         "days": BENCH_PERIOD.n_days,
         "record_seconds": round(record_seconds, 4),

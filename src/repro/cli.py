@@ -23,6 +23,8 @@ and the scenario-scale subsystem::
         --retries 2 --timeout 600       # resume an interrupted campaign
     iot-backend-repro cache ls          # list the on-disk artifact store
     iot-backend-repro cache prune       # delete cached artifacts
+    iot-backend-repro stats --trace t.jsonl --metrics m.json
+                                        # per-stage telemetry summary
 
 Sweeps are fault tolerant: every scenario attempt is appended to the ledger
 the moment it finishes (so a killed run loses nothing that completed),
@@ -46,16 +48,34 @@ worker processes (hours draw from independent per-hour streams, so the flows
 byte-identical at any worker count; only wall-clock changes).  Under ``sweep``
 it composes with ``--workers``: each scenario worker runs its own clamped
 generation pool, capped so the product never oversubscribes the machine.
+
+Observability (see :mod:`repro.obs`) is off by default and strictly
+read-only — results, store addresses, and ledger identity fields are
+bit-identical with it on or off.  ``--trace PATH`` appends one JSON line per
+completed pipeline span (generation hours, discovery sources, store I/O,
+sweep scenarios — including those of worker processes) to PATH;
+``--metrics-out PATH`` collects counters/histograms during the run (sweep
+workers ship their registries back to the driver) and writes the merged
+snapshot as JSON on exit.  ``iot-backend-repro stats`` renders either file
+as a per-stage table with wall-clock coverage.  ``-v``/``-q`` raise/lower
+the structured-log verbosity on stderr (sweep failure, retry, respawn, and
+circuit-breaker events carry scenario ids).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments import build_context
 from repro.experiments import characterization, disruption_experiments, traffic_experiments
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.simulation.config import ScenarioConfig
 
 
@@ -230,6 +250,34 @@ def _scenario_options() -> argparse.ArgumentParser:
         help="parallel worker processes for per-hour flow generation "
         "(byte-identical output at any count; default: serial)",
     )
+    common.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append one JSON line per completed pipeline span to PATH "
+        "(read-only telemetry; summarize with the stats subcommand)",
+    )
+    common.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="collect counters/histograms during the run and write the "
+        "merged snapshot to PATH as JSON",
+    )
+    common.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise structured-log verbosity on stderr (repeatable)",
+    )
+    common.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="lower structured-log verbosity (errors only)",
+    )
     return common
 
 
@@ -310,6 +358,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="metric to pivot over the first one/two axes (default: first metric)",
     )
 
+    stats = subparsers.add_parser(
+        "stats", help="summarize a span trace and/or a metrics snapshot"
+    )
+    stats.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="JSONL span trace written by --trace (per-stage timing table)",
+    )
+    stats.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="JSON metrics snapshot written by --metrics-out",
+    )
+
     cache = subparsers.add_parser("cache", help="inspect or prune the artifact store")
     cache.add_argument("action", choices=("ls", "prune"), help="what to do with the store")
     cache.add_argument(
@@ -351,7 +415,7 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> Tup
         result = runner.run(grid, resume=args.resume)
     except (FileNotFoundError, LedgerError) as error:
         parser.error(f"--resume: {error}")
-    sections = [result.render_results()]
+    sections = [result.render_results(), result.render_latency_summary()]
     pivot_metric = args.pivot or (result.metric_names()[0] if result.metric_names() else None)
     if pivot_metric is not None:
         axes = grid.axis_names
@@ -372,6 +436,84 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> Tup
             + "\n".join(f"  {outcome.scenario_id}: {outcome.error}" for outcome in failures)
         )
     return "\n\n".join(sections), 1 if failures else 0
+
+
+def _render_trace_summary(path: str) -> str:
+    from repro.core.report import render_table
+
+    events = obs_trace.read_trace(path)
+    summary = obs_trace.summarize_trace(events)
+    if not summary.stages:
+        return f"trace {path}: no span events"
+    table = render_table(
+        ["stage", "count", "total_s", "mean_s", "p50_s", "p95_s", "max_s"],
+        summary.rows(),
+        title=f"Trace {path} ({summary.events} spans)",
+    )
+    coverage = (
+        f"wall clock {summary.wall_seconds:.2f}s across {summary.processes} process(es), "
+        f"accounted by root spans: {summary.accounted_seconds:.2f}s "
+        f"({summary.coverage * 100.0:.1f}% coverage)"
+    )
+    return table + "\n\n" + coverage
+
+
+def _render_metrics_snapshot(path: str) -> str:
+    from repro.core.report import render_table
+
+    snapshot = json.loads(Path(path).read_text(encoding="utf-8"))
+    registry = obs_metrics.MetricsRegistry.from_snapshot(snapshot)
+    sections: List[str] = []
+    counters = registry.counters()
+    if counters:
+        rows = [[name, round(value, 6)] for name, value in sorted(counters.items())]
+        sections.append(
+            render_table(["counter", "value"], rows, title=f"Counters ({path})")
+        )
+    gauges = registry.gauges()
+    if gauges:
+        rows = [[name, round(value, 6)] for name, value in sorted(gauges.items())]
+        sections.append(render_table(["gauge", "value"], rows, title="Gauges"))
+    histogram_rows: List[List[object]] = []
+    for name in registry.histogram_names():
+        histogram = registry.histogram(name)
+        histogram_rows.append(
+            [
+                name,
+                histogram.count,
+                round(histogram.sum, 4),
+                round(histogram.quantile(0.5) or 0.0, 6),
+                round(histogram.quantile(0.95) or 0.0, 6),
+                round(histogram.max or 0.0, 6),
+            ]
+        )
+    if histogram_rows:
+        sections.append(
+            render_table(
+                ["histogram", "count", "sum", "p50<=", "p95<=", "max"],
+                histogram_rows,
+                title="Histograms",
+            )
+        )
+    if not sections:
+        return f"metrics snapshot {path} is empty"
+    return "\n\n".join(sections)
+
+
+def _run_stats(args: argparse.Namespace, parser: argparse.ArgumentParser) -> str:
+    if args.trace is None and args.metrics is None:
+        parser.error("stats requires --trace PATH and/or --metrics PATH")
+    sections: List[str] = []
+    try:
+        if args.trace is not None:
+            sections.append(_render_trace_summary(args.trace))
+        if args.metrics is not None:
+            sections.append(_render_metrics_snapshot(args.metrics))
+    except FileNotFoundError as error:
+        parser.error(str(error))
+    except json.JSONDecodeError as error:
+        parser.error(f"--metrics: {args.metrics}: {error}")
+    return "\n\n".join(sections)
 
 
 def _run_cache(args: argparse.Namespace) -> str:
@@ -406,22 +548,66 @@ def _run_cache(args: argparse.Namespace) -> str:
     return table
 
 
+def _activate_obs(args: argparse.Namespace) -> Tuple[Optional[str], Optional[str]]:
+    """Turn on tracing/metrics/logging as the parsed flags request.
+
+    Returns ``(trace_path, metrics_out_path)`` for :func:`_deactivate_obs`.
+    The trace path is also exported via ``$IOT_REPRO_TRACE`` so worker
+    processes started with the spawn method reach the same sink (forked
+    workers inherit the open descriptor anyway).
+    """
+    obs_log.configure(args.verbose - args.quiet)
+    trace_target: Optional[str] = args.trace
+    metrics_out: Optional[str] = args.metrics_out
+    if trace_target is not None:
+        obs_trace.enable(trace_target)
+        os.environ[obs_trace.TRACE_ENV_VAR] = str(trace_target)
+    if metrics_out is not None:
+        obs_metrics.set_registry(obs_metrics.MetricsRegistry())
+        obs_metrics.enable()
+    return trace_target, metrics_out
+
+
+def _deactivate_obs(trace_target: Optional[str], metrics_out: Optional[str]) -> None:
+    """Undo :func:`_activate_obs` so repeated ``main()`` calls stay isolated."""
+    if metrics_out is not None:
+        obs_metrics.disable()
+    if trace_target is not None:
+        if os.environ.get(obs_trace.TRACE_ENV_VAR) == str(trace_target):
+            os.environ.pop(obs_trace.TRACE_ENV_VAR, None)
+        obs_trace.reset()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "sweep":
-        output, exit_code = _run_sweep(args, parser)
-        print(output)
-        return exit_code
+    if args.command == "stats":
+        print(_run_stats(args, parser))
+        return 0
     if args.command == "cache":
         print(_run_cache(args))
         return 0
-    config = _make_config(args)
-    context = build_context(config, store=_make_store(args), gen_workers=args.gen_workers)
-    output = _COMMANDS[args.command](context)
-    print(output)
-    return 0
+    trace_target, metrics_out = _activate_obs(args)
+    try:
+        if args.command == "sweep":
+            output, exit_code = _run_sweep(args, parser)
+        else:
+            config = _make_config(args)
+            context = build_context(
+                config, store=_make_store(args), gen_workers=args.gen_workers
+            )
+            output = _COMMANDS[args.command](context)
+            exit_code = 0
+        if metrics_out is not None:
+            snapshot = obs_metrics.registry().snapshot()
+            Path(metrics_out).write_text(
+                json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        print(output)
+        return exit_code
+    finally:
+        _deactivate_obs(trace_target, metrics_out)
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from datetime import date
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.patterns import PatternSet
+from repro.obs import metrics as obs_metrics
 from repro.dns.passive_db import PassiveDnsDatabase, PassiveDnsRecord
 from repro.dns.resolver import StubResolver, VantagePoint
 from repro.dns.zone import RTYPE_A, RTYPE_AAAA
@@ -321,6 +322,8 @@ class BackendDiscovery:
                         existing.domains.update(domains)
             cache.hits += hits
             cache.misses += misses
+            obs_metrics.inc("discovery.verdict_cache.hits", float(hits))
+            obs_metrics.inc("discovery.verdict_cache.misses", float(misses))
             return result
         for name, ips in snapshot.certificate_name_index().items():
             provider_key = _match_certificate_name(engine, name)

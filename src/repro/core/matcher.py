@@ -39,8 +39,11 @@ like the legacy sorted iteration.
 from __future__ import annotations
 
 import re
+import time
 from functools import lru_cache
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import metrics as obs_metrics
 
 #: Default size of the per-engine single-lookup LRU cache.
 DEFAULT_LRU_SIZE = 65536
@@ -331,7 +334,22 @@ class CompiledPatternSet:
         Returns ``{input name -> provider key or None}`` with one entry per
         distinct input string.  Normalization and cache probing are shared
         across duplicates, which dominate real corpora.
+
+        Instrumentation is per *bulk call*, not per name: when metrics are
+        enabled the call records ``matcher.bulk_lookups`` / ``matcher.bulk_names``
+        counters and a ``matcher.bulk_seconds`` observation — two dict updates
+        amortized over the whole iterable, invisible next to the regex work.
         """
+        if not obs_metrics.enabled():
+            return self._match_many_impl(fqdns)
+        start = time.perf_counter()
+        results = self._match_many_impl(fqdns)
+        obs_metrics.inc("matcher.bulk_lookups")
+        obs_metrics.inc("matcher.bulk_names", float(len(results)))
+        obs_metrics.observe("matcher.bulk_seconds", time.perf_counter() - start)
+        return results
+
+    def _match_many_impl(self, fqdns: Iterable[str]) -> Dict[str, Optional[str]]:
         results: Dict[str, Optional[str]] = {}
         normalized_memo: Dict[str, Optional[str]] = {}
         # The bulk path keeps its own memo for the whole iterable, so it calls

@@ -39,6 +39,7 @@ from repro.core.validation import (
     classify_shared_ips,
     validate_against_ground_truth,
 )
+from repro.obs.trace import span
 from repro.scan.zgrab import ZGrabScanner
 from repro.simulation.clock import StudyPeriod
 
@@ -145,21 +146,23 @@ class DiscoveryPipeline:
         pass them via ``passive_observations``: the day's passive result is then
         a cheap time-slice of the period result instead of a full re-query.
         """
-        if passive_observations is None:
-            passive = self.discover_passive_dns(day, day)
-        else:
-            passive = self.discovery.result_from_passive_observations(
-                passive_observations, since=day, until=day
-            )
+        day_attr = day.isoformat()
+        with span("discovery.passive_dns", day=day_attr):
+            if passive_observations is None:
+                passive = self.discover_passive_dns(day, day)
+            else:
+                passive = self.discovery.result_from_passive_observations(
+                    passive_observations, since=day, until=day
+                )
         if active_dns_domains is None:
             active_dns_domains = sorted(passive.domains())
-        results = [
-            self.discover_tls(day),
-            self.discover_ipv6(day),
-            passive,
-            self.discover_active_dns(active_dns_domains),
-        ]
-        return self.discovery.combine(results, day=day)
+        with span("discovery.tls", day=day_attr):
+            tls = self.discover_tls(day)
+        with span("discovery.ipv6", day=day_attr):
+            ipv6 = self.discover_ipv6(day)
+        with span("discovery.active_dns", day=day_attr):
+            active = self.discover_active_dns(active_dns_domains)
+        return self.discovery.combine([tls, ipv6, passive, active], day=day)
 
     def run(self, period: Optional[StudyPeriod] = None) -> PipelineResult:
         """Run the methodology for a whole study period.
@@ -169,43 +172,49 @@ class DiscoveryPipeline:
         those period observations.
         """
         period = period or self.world.config.study_period
-        period_observations = self.discovery.passive_dns_observations(
-            self.world.passive_dns, since=period.start, until=period.end
-        )
-        period_passive = self.discovery.result_from_passive_observations(period_observations)
-        active_domains = sorted(period_passive.domains())
-        daily_results: Dict[date, DiscoveryResult] = {}
-        for day in period.days():
-            daily_results[day] = self.discover_day(
-                day,
-                active_dns_domains=active_domains,
-                passive_observations=period_observations,
-            )
-        combined = DiscoveryResult()
-        for day in sorted(daily_results):
-            combined.merge(daily_results[day])
-        combined.merge(period_passive)
-        validation = classify_shared_ips(
-            combined,
-            self.world.passive_dns,
-            self.pattern_set,
-            threshold=self.world.config.shared_ip_domain_threshold,
-            since=period.start,
-            until=period.end,
-        )
-        reference_snapshot = self.world.censys.snapshot(period.start)
-        footprints = characterize_all(
-            validation.dedicated,
-            self.world.routing_table,
-            self.world.as_registry,
-            self.world.geo_database,
-            censys_snapshot=reference_snapshot,
-        )
-        ground_truth: Dict[str, GroundTruthReport] = {}
-        for provider_key, prefixes in self.world.published_ranges.items():
-            ground_truth[provider_key] = validate_against_ground_truth(
-                combined, provider_key, prefixes
-            )
+        with span("discovery.run", start=period.start.isoformat(), end=period.end.isoformat()):
+            with span("discovery.passive_dns", day="period"):
+                period_observations = self.discovery.passive_dns_observations(
+                    self.world.passive_dns, since=period.start, until=period.end
+                )
+                period_passive = self.discovery.result_from_passive_observations(
+                    period_observations
+                )
+            active_domains = sorted(period_passive.domains())
+            daily_results: Dict[date, DiscoveryResult] = {}
+            for day in period.days():
+                daily_results[day] = self.discover_day(
+                    day,
+                    active_dns_domains=active_domains,
+                    passive_observations=period_observations,
+                )
+            combined = DiscoveryResult()
+            for day in sorted(daily_results):
+                combined.merge(daily_results[day])
+            combined.merge(period_passive)
+            with span("discovery.validate"):
+                validation = classify_shared_ips(
+                    combined,
+                    self.world.passive_dns,
+                    self.pattern_set,
+                    threshold=self.world.config.shared_ip_domain_threshold,
+                    since=period.start,
+                    until=period.end,
+                )
+            with span("discovery.characterize"):
+                reference_snapshot = self.world.censys.snapshot(period.start)
+                footprints = characterize_all(
+                    validation.dedicated,
+                    self.world.routing_table,
+                    self.world.as_registry,
+                    self.world.geo_database,
+                    censys_snapshot=reference_snapshot,
+                )
+            ground_truth: Dict[str, GroundTruthReport] = {}
+            for provider_key, prefixes in self.world.published_ranges.items():
+                ground_truth[provider_key] = validate_against_ground_truth(
+                    combined, provider_key, prefixes
+                )
         return PipelineResult(
             period=period,
             pattern_set=self.pattern_set,

@@ -33,6 +33,8 @@ from repro.core.traffic import DEFAULT_SCANNER_THRESHOLD, ScannerExclusion
 from repro.flows.anonymize import AnonymizationMap
 from repro.flows.flowtable import FlowTable
 from repro.flows.netflow import FlowRecord, NetFlowCollector
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.simulation.clock import StudyPeriod
 from repro.simulation.config import ScenarioConfig
 from repro.simulation.world import World, build_world
@@ -90,16 +92,18 @@ class ExperimentContext:
     def _load_or_run_pipeline(self) -> PipelineResult:
         stage = None
         period = self.config.study_period
-        if self.store is not None:
-            from repro.store.artifacts import discovery_stage
+        with span("context.discovery"):
+            if self.store is not None:
+                from repro.store.artifacts import discovery_stage
 
-            stage = discovery_stage(self.pipeline.pattern_set)
-            cached = self.store.get_pipeline_result(self.config, period, stage)
-            if cached is not None:
-                return cached
-        result = self.pipeline.run(period)
-        if self.store is not None:
-            self.store.put_pipeline_result(self.config, period, stage, result)
+                stage = discovery_stage(self.pipeline.pattern_set)
+                cached = self.store.get_pipeline_result(self.config, period, stage)
+                if cached is not None:
+                    obs_metrics.inc("context.discovery_warm_starts")
+                    return cached
+            result = self.pipeline.run(period)
+            if self.store is not None:
+                self.store.put_pipeline_result(self.config, period, stage, result)
         return result
 
     # -- flows ---------------------------------------------------------------------
@@ -168,18 +172,20 @@ class ExperimentContext:
 
     def _load_or_build_raw(self, period: StudyPeriod) -> FlowTable:
         stage = None
-        if self.store is not None:
-            from repro.store.artifacts import STAGE_RAW_EXPORT
+        with span("context.raw_table"):
+            if self.store is not None:
+                from repro.store.artifacts import STAGE_RAW_EXPORT
 
-            stage = STAGE_RAW_EXPORT
-            cached = self.store.get_table(self.config, period, stage)
-            if cached is not None:
-                return cached
-        generated = self.world.flows_table(period)
-        collector = NetFlowCollector(self.config.sampling_ratio)
-        table = collector.export_table(generated, self.world.rng.spawn("netflow"))
-        if self.store is not None:
-            self.store.put_table(self.config, period, stage, table)
+                stage = STAGE_RAW_EXPORT
+                cached = self.store.get_table(self.config, period, stage)
+                if cached is not None:
+                    return cached
+            generated = self.world.flows_table(period)
+            with span("netflow.export"):
+                collector = NetFlowCollector(self.config.sampling_ratio)
+                table = collector.export_table(generated, self.world.rng.spawn("netflow"))
+            if self.store is not None:
+                self.store.put_table(self.config, period, stage, table)
         return table
 
     def clean_table(
@@ -202,17 +208,18 @@ class ExperimentContext:
 
     def _load_or_build_clean(self, period: StudyPeriod, threshold: int) -> FlowTable:
         stage = None
-        if self.store is not None:
-            from repro.store.artifacts import clean_stage
+        with span("context.clean_table"):
+            if self.store is not None:
+                from repro.store.artifacts import clean_stage
 
-            stage = clean_stage(threshold)
-            cached = self.store.get_table(self.config, period, stage)
-            if cached is not None:
-                return cached
-        scanners = self.scanner_lines(period, threshold)
-        table = self.raw_table(period).exclude_subscribers(scanners)
-        if self.store is not None:
-            self.store.put_table(self.config, period, stage, table)
+                stage = clean_stage(threshold)
+                cached = self.store.get_table(self.config, period, stage)
+                if cached is not None:
+                    return cached
+            scanners = self.scanner_lines(period, threshold)
+            table = self.raw_table(period).exclude_subscribers(scanners)
+            if self.store is not None:
+                self.store.put_table(self.config, period, stage, table)
         return table
 
     def outage_table(self) -> FlowTable:
@@ -278,8 +285,11 @@ def build_context(
         if cached is not None:
             _CONTEXT_CACHE.move_to_end(cache_key)
             cached.world.gen_workers = effective_workers
+            obs_metrics.inc("context.lru_hits")
             return cached
-    world = build_world(config)
+    obs_metrics.inc("context.cold_builds")
+    with span("context.build"):
+        world = build_world(config)
     world.artifact_store = store
     world.gen_workers = effective_workers
     context = ExperimentContext(config=config, world=world, store=store)

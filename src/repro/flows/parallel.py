@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.flows.flowtable import FlowTable
 from repro.flows.scanners import append_scanner_flows
+from repro.obs.trace import span
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only
     from repro.flows.workload import WorkloadGenerator
@@ -116,9 +117,13 @@ def _hour_task(hour_iso: str) -> FlowTable:
     """
     generator, table, rows, outage_keys = _WORKER_STATE
     when = datetime.fromisoformat(hour_iso)
-    generator._append_hour_columns(table, rows, outage_keys, when)
-    batch = FlowTable.concat([table])
-    table.truncate(0)
+    # Forked workers inherit the parent's trace descriptor; spawned ones
+    # re-open the path from $IOT_REPRO_TRACE on first use (O_APPEND keeps
+    # concurrent whole-line writes intact either way).
+    with span("gen.hour", hour=hour_iso):
+        generator._append_hour_columns(table, rows, outage_keys, when)
+        batch = FlowTable.concat([table])
+        table.truncate(0)
     return batch
 
 

@@ -50,6 +50,7 @@ from repro.flows.scanners import append_scanner_flows, generate_scanner_flows
 from repro.flows.subscribers import DeviceInstance, SubscriberLine, SubscriberPopulation
 from repro.netmodel.geo import CONTINENT_EUROPE, CONTINENT_NORTH_AMERICA
 from repro.netmodel.topology import ProviderDeployment
+from repro.obs.trace import span
 from repro.outage.injector import OutageSchedule
 from repro.simulation.clock import StudyPeriod
 from repro.simulation.rng import RngRegistry, stable_hash
@@ -266,17 +267,23 @@ class WorkloadGenerator:
             from repro.flows.parallel import generate_period_table_parallel, parallelism_usable
 
             if parallelism_usable() and period.n_days * 24 > 1:
-                return generate_period_table_parallel(self, period, include_scanners, workers)
-        table = FlowTable()
-        rows, outage_keys = self._encoded_plans(table)
-        scanner_lines = self.population.scanner_lines() if include_scanners else []
-        catalog = self.server_catalog(ip_version=4) if include_scanners else []
-        for day in period.days():
-            for hour in range(24):
-                when = datetime.combine(day, time(hour=hour))
-                self._append_hour_columns(table, rows, outage_keys, when)
-            if include_scanners:
-                append_scanner_flows(table, scanner_lines, catalog, day, self.rng)
+                with span("gen.period", start=period.start.isoformat(), workers=workers):
+                    return generate_period_table_parallel(
+                        self, period, include_scanners, workers
+                    )
+        with span("gen.period", start=period.start.isoformat(), workers=1):
+            table = FlowTable()
+            rows, outage_keys = self._encoded_plans(table)
+            scanner_lines = self.population.scanner_lines() if include_scanners else []
+            catalog = self.server_catalog(ip_version=4) if include_scanners else []
+            for day in period.days():
+                for hour in range(24):
+                    when = datetime.combine(day, time(hour=hour))
+                    with span("gen.hour", hour=when.isoformat()):
+                        self._append_hour_columns(table, rows, outage_keys, when)
+                if include_scanners:
+                    with span("gen.scanners", day=day.isoformat()):
+                        append_scanner_flows(table, scanner_lines, catalog, day, self.rng)
         return table
 
     def _model_tables(

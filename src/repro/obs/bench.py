@@ -1,0 +1,40 @@
+"""Host-environment stamp for benchmark artifacts.
+
+Every ``BENCH_*.json`` writer merges :func:`bench_env` into its payload, so a
+benchmark number always travels with the machine that produced it — without
+it, the perf trajectory across PRs silently mixes 1-core CI containers with
+8-core laptops.  The fields are registered (and required) by
+``benchmarks/check_bench_schema.py``:
+
+* ``env_cpu_count`` — CPUs the process may actually run on (affinity-aware),
+* ``env_python`` — the CPython version string,
+* ``env_platform`` — OS/architecture identification.
+
+Values are flat JSON scalars to satisfy the shared bench schema.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Dict
+
+#: The env fields every benchmark artifact must carry.
+BENCH_ENV_FIELDS = ("env_cpu_count", "env_python", "env_platform")
+
+
+def visible_cpus() -> int:
+    """CPUs this process may run on (scheduler affinity beats ``cpu_count``)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def bench_env() -> Dict[str, object]:
+    """The host-metadata fields to merge into a benchmark payload."""
+    return {
+        "env_cpu_count": visible_cpus(),
+        "env_python": platform.python_version(),
+        "env_platform": platform.platform(),
+    }

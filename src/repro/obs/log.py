@@ -1,0 +1,97 @@
+"""Structured logging for the reproduction (stdlib :mod:`logging` only).
+
+Every component logs through a child of the ``repro`` logger obtained with
+:func:`get_logger`; :func:`configure` installs one stream handler on the root
+``repro`` logger and maps the CLI's ``-v`` / ``-q`` counts to a level:
+
+=========  =========
+verbosity  level
+=========  =========
+``<= -1``  ``ERROR``
+``0``      ``WARNING`` (default: quiet unless something is wrong)
+``1``      ``INFO``
+``>= 2``   ``DEBUG``
+=========  =========
+
+:func:`log_event` renders one event as ``event key=value key=value`` —
+grep-able, diff-able lines instead of prose, so a sweep's failure/respawn/
+breaker events can be filtered by ``scenario_id`` with one ``grep``.
+Values containing whitespace are quoted via ``json.dumps``.
+
+Calling :func:`configure` twice replaces the previous handler instead of
+stacking a second one, so repeated ``main()`` invocations (tests, REPLs) do
+not multiply output.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+#: Root logger name; every module logger is a child of this.
+ROOT_LOGGER = "repro"
+
+_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A child of the ``repro`` logger (``get_logger('sweeps')`` -> ``repro.sweeps``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + ".") or name == ROOT_LOGGER:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def level_for_verbosity(verbosity: int) -> int:
+    """Map a ``-v``/``-q`` count delta to a logging level."""
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure(verbosity: int = 0, stream: Optional[IO[str]] = None) -> logging.Logger:
+    """Install (or replace) the ``repro`` stream handler at the mapped level.
+
+    Logs go to ``stderr`` by default so they never mix with the experiment
+    tables the CLI prints on ``stdout``.
+    """
+    global _handler
+    logger = logging.getLogger(ROOT_LOGGER)
+    if _handler is not None:
+        logger.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    _handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+    )
+    logger.addHandler(_handler)
+    logger.setLevel(level_for_verbosity(verbosity))
+    return logger
+
+
+def _format_value(value: object) -> str:
+    text = str(value)
+    if any(ch.isspace() for ch in text) or not text:
+        return json.dumps(text)
+    return text
+
+
+def format_event(event: str, **fields: object) -> str:
+    """Render ``event key=value ...`` with stable field order."""
+    parts = [event]
+    parts.extend(f"{key}={_format_value(value)}" for key, value in fields.items())
+    return " ".join(parts)
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: object
+) -> None:
+    """Log one structured ``event key=value`` line at the given level."""
+    if logger.isEnabledFor(level):
+        logger.log(level, format_event(event, **fields))

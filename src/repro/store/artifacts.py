@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
 from repro.flows.flowtable import FlowTable
+from repro.obs import metrics as obs_metrics
 from repro.simulation.clock import StudyPeriod
 from repro.simulation.config import ScenarioConfig
 from repro.store.codec import (
@@ -193,11 +194,18 @@ class ArtifactStore:
         digest = scenario_fingerprint(config, period, stage)
         try:
             with self._open_payload(digest) as stream:
-                return load_table(stream)
+                payload_bytes = os.fstat(stream.fileno()).st_size
+                table = load_table(stream)
+            obs_metrics.inc("store.hits")
+            obs_metrics.inc("store.bytes_read", float(payload_bytes))
+            return table
         except FileNotFoundError:
+            obs_metrics.inc("store.misses")
             return None
         except (StoreFormatError, OSError):
             self._discard(digest)
+            obs_metrics.inc("store.misses")
+            obs_metrics.inc("store.corrupt_fallbacks")
             return None
 
     def put_table(
@@ -247,11 +255,18 @@ class ArtifactStore:
         digest = scenario_fingerprint(config, period, self._pipeline_fingerprint_stage(stage))
         try:
             with self._open_payload(digest) as stream:
-                return load_pipeline_result(stream)
+                payload_bytes = os.fstat(stream.fileno()).st_size
+                result = load_pipeline_result(stream)
+            obs_metrics.inc("store.hits")
+            obs_metrics.inc("store.bytes_read", float(payload_bytes))
+            return result
         except FileNotFoundError:
+            obs_metrics.inc("store.misses")
             return None
         except (StoreFormatError, OSError):
             self._discard(digest)
+            obs_metrics.inc("store.misses")
+            obs_metrics.inc("store.corrupt_fallbacks")
             return None
 
     def put_pipeline_result(
@@ -309,13 +324,19 @@ class ArtifactStore:
         finally:
             if meta_tmp.exists():
                 meta_tmp.unlink()
+        obs_metrics.inc("store.writes")
+        obs_metrics.inc("store.bytes_written", float(payload_bytes))
         # Migration on write: a re-written artifact supersedes any flat-layout
         # copy of itself, so the legacy files are dropped to avoid duplicates.
+        migrated = False
         for legacy in (self._legacy_payload_path(digest), self._legacy_meta_path(digest)):
             try:
                 legacy.unlink()
+                migrated = True
             except OSError:
                 pass
+        if migrated:
+            obs_metrics.inc("store.migrations")
 
     def _discard(self, digest: str) -> int:
         """Remove one artifact (payload + sidecar, both layouts); return bytes freed."""

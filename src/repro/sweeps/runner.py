@@ -65,11 +65,18 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+import logging
+
 from repro.core.report import render_table
 from repro.flows.parallel import effective_gen_workers, pool_context
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.log import get_logger, log_event
 from repro.simulation.config import ScenarioConfig
 from repro.sweeps.grid import ScenarioGrid, ScenarioSpec
 from repro.sweeps.metrics import resolve_metrics
+
+logger = get_logger("sweeps")
 
 #: Ledger schema version, recorded in every row.
 LEDGER_SCHEMA = 2
@@ -154,6 +161,12 @@ class _Task:
     gen_workers: int
     timeout: Optional[float]
     attempt: int
+    #: Trace file the worker should append spans to (None = tracing off).
+    #: Forked workers inherit the driver's descriptor anyway; this field makes
+    #: the sink explicit so spawned workers reach the same file.
+    trace_path: Optional[str] = None
+    #: Whether the worker should collect a metrics snapshot for this attempt.
+    collect_obs: bool = False
 
 
 @dataclass
@@ -171,6 +184,11 @@ class ScenarioOutcome:
     worker_id: str = ""
     started_at: float = 0.0
     ended_at: float = 0.0
+    #: Observability snapshot of the worker's metrics registry for this
+    #: attempt (see :mod:`repro.obs.metrics`).  Deliberately NOT part of the
+    #: ledger row or of :meth:`identity` — observability data is advisory and
+    #: must never disturb ledger byte-stability or the determinism contract.
+    obs: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         if not self.status:
@@ -238,6 +256,16 @@ def _execute_scenario(task: _Task) -> ScenarioOutcome:
     from repro.experiments.context import build_context
     from repro.store.artifacts import ArtifactStore, config_digest
 
+    if task.trace_path is not None and not obs_trace.enabled():
+        # Spawned workers (no inherited descriptor, no env var) open the sink
+        # explicitly; forked workers and the serial driver already have it.
+        obs_trace.enable(task.trace_path)
+    previous_registry: Optional[obs_metrics.MetricsRegistry] = None
+    if task.collect_obs:
+        # A fresh registry per attempt means the shipped snapshot holds
+        # exactly this scenario's metrics, merged additively by the driver.
+        previous_registry = obs_metrics.set_registry(obs_metrics.MetricsRegistry())
+        obs_metrics.enable()
     store = ArtifactStore(task.store_root) if task.store_root is not None else None
     started_at = time.time()
     start = time.perf_counter()
@@ -246,14 +274,17 @@ def _execute_scenario(task: _Task) -> ScenarioOutcome:
     status = STATUS_OK
     try:
         with _wall_clock_limit(task.timeout):
-            if FAULT_HOOK is not None:
-                FAULT_HOOK(task.scenario_id, task.attempt)
-            metric_fns = resolve_metrics(task.metrics)
-            context = build_context(
-                task.config, use_cache=False, store=store, gen_workers=task.gen_workers
-            )
-            for fn in metric_fns.values():
-                metrics.update(fn(context))
+            with obs_trace.span(
+                "sweep.scenario", scenario=task.scenario_id, attempt=task.attempt
+            ):
+                if FAULT_HOOK is not None:
+                    FAULT_HOOK(task.scenario_id, task.attempt)
+                metric_fns = resolve_metrics(task.metrics)
+                context = build_context(
+                    task.config, use_cache=False, store=store, gen_workers=task.gen_workers
+                )
+                for fn in metric_fns.values():
+                    metrics.update(fn(context))
     except _ScenarioTimeout:
         metrics = {}
         status = STATUS_TIMEOUT
@@ -262,6 +293,11 @@ def _execute_scenario(task: _Task) -> ScenarioOutcome:
         metrics = {}
         status = STATUS_FAILED
         error = f"{type(exc).__name__}: {exc}"
+    obs_snapshot: Optional[Dict[str, object]] = None
+    if task.collect_obs:
+        obs_snapshot = obs_metrics.registry().snapshot()
+        if previous_registry is not None:
+            obs_metrics.set_registry(previous_registry)
     return ScenarioOutcome(
         scenario_id=task.scenario_id,
         axes=dict(task.axes),
@@ -274,6 +310,7 @@ def _execute_scenario(task: _Task) -> ScenarioOutcome:
         worker_id=str(os.getpid()),
         started_at=started_at,
         ended_at=time.time(),
+        obs=obs_snapshot,
     )
 
 
@@ -333,6 +370,43 @@ class SweepResult:
                 if key not in names:
                     names.append(key)
         return names
+
+    def latency_summary(self) -> Optional[Dict[str, float]]:
+        """Scenario-latency percentiles over the successful outcomes.
+
+        Exact nearest-rank p50/p95 plus mean/max of ``elapsed_seconds``;
+        ``None`` when no scenario succeeded.  Purely derived reporting — the
+        outcomes themselves are untouched.
+        """
+        durations = sorted(o.elapsed_seconds for o in self.outcomes if o.ok)
+        if not durations:
+            return None
+
+        def rank(q: float) -> float:
+            position = max(1, int(q * len(durations) + 0.9999999))
+            return durations[min(position, len(durations)) - 1]
+
+        return {
+            "count": float(len(durations)),
+            "mean": sum(durations) / len(durations),
+            "p50": rank(0.5),
+            "p95": rank(0.95),
+            "max": durations[-1],
+        }
+
+    def render_latency_summary(self) -> str:
+        """One-line scenario-latency digest for the sweep run summary."""
+        summary = self.latency_summary()
+        if summary is None:
+            return "Scenario latency: no successful scenarios"
+        return (
+            "Scenario latency: "
+            f"n={int(summary['count'])} "
+            f"mean={summary['mean']:.2f}s "
+            f"p50={summary['p50']:.2f}s "
+            f"p95={summary['p95']:.2f}s "
+            f"max={summary['max']:.2f}s"
+        )
 
     # -- ledger ------------------------------------------------------------------
 
@@ -487,29 +561,87 @@ class _Campaign:
         if self.writer is not None:
             self.writer.append(outcome)
 
+    @staticmethod
+    def _merge_obs(outcome: ScenarioOutcome) -> None:
+        """Fold a worker's shipped metrics snapshot into the driver registry."""
+        if outcome.obs is not None and obs_metrics.enabled():
+            obs_metrics.registry().merge(outcome.obs)
+
     def record_final(self, index: int, outcome: ScenarioOutcome) -> None:
         """Record a scenario's final outcome; feed the circuit breaker."""
         self.results[index] = outcome
         self._append(outcome)
+        self._merge_obs(outcome)
         if outcome.ok:
             self.consecutive_failures = 0
+            obs_metrics.inc("sweep.scenarios_ok")
+            obs_metrics.observe("sweep.scenario_seconds", outcome.elapsed_seconds)
+            log_event(
+                logger,
+                logging.INFO,
+                "sweep.scenario_ok",
+                scenario_id=outcome.scenario_id,
+                attempt=outcome.attempt,
+                seconds=round(outcome.elapsed_seconds, 3),
+            )
         else:
             self.consecutive_failures += 1
+            obs_metrics.inc("sweep.scenarios_failed")
+            if outcome.status == STATUS_TIMEOUT:
+                obs_metrics.inc("sweep.timeouts")
+            log_event(
+                logger,
+                logging.WARNING,
+                "sweep.scenario_failed",
+                scenario_id=outcome.scenario_id,
+                status=outcome.status,
+                attempt=outcome.attempt,
+                error=outcome.error,
+            )
             if (
                 self.breaker_threshold is not None
                 and self.consecutive_failures >= self.breaker_threshold
             ):
+                if not self.breaker_open:
+                    obs_metrics.inc("sweep.breaker_trips")
+                    log_event(
+                        logger,
+                        logging.ERROR,
+                        "sweep.breaker_open",
+                        consecutive_failures=self.consecutive_failures,
+                        last_scenario_id=outcome.scenario_id,
+                    )
                 self.breaker_open = True
 
     def record_retry(self, outcome: ScenarioOutcome) -> None:
         """Record a non-final failed attempt (the scenario will be retried)."""
         outcome.status = STATUS_RETRIED
         self._append(outcome)
+        self._merge_obs(outcome)
+        obs_metrics.inc("sweep.retries")
+        if outcome.error is not None and "Timeout" in outcome.error:
+            obs_metrics.inc("sweep.timeouts")
+        log_event(
+            logger,
+            logging.WARNING,
+            "sweep.retry",
+            scenario_id=outcome.scenario_id,
+            attempt=outcome.attempt,
+            error=outcome.error,
+        )
 
     def record_skipped(self, index: int, outcome: ScenarioOutcome) -> None:
         """Record a scenario the open circuit breaker refused to submit."""
         self.results[index] = outcome
         self._append(outcome)
+        obs_metrics.inc("sweep.skipped")
+        log_event(
+            logger,
+            logging.WARNING,
+            "sweep.skipped",
+            scenario_id=outcome.scenario_id,
+            reason="breaker_open",
+        )
 
 
 class SweepRunner:
@@ -562,6 +694,8 @@ class SweepRunner:
             gen_workers=gen_workers,
             timeout=self.timeout,
             attempt=attempt,
+            trace_path=obs_trace.trace_path(),
+            collect_obs=obs_metrics.enabled(),
         )
 
     def _backoff_delay(self, attempt: int) -> float:
@@ -762,6 +896,13 @@ class SweepRunner:
                     executor.shutdown(wait=False, cancel_futures=True)
                     executor = self._new_executor(workers)
                     campaign.pool_respawns += 1
+                    obs_metrics.inc("sweep.respawns")
+                    log_event(
+                        logger,
+                        logging.WARNING,
+                        "sweep.respawn",
+                        respawns=campaign.pool_respawns,
+                    )
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
 

@@ -111,6 +111,41 @@ def test_fault_tolerance_flags_are_documented_everywhere():
         assert concept in architecture, f"ARCHITECTURE.md does not mention {concept!r}"
 
 
+def test_observability_surface_is_documented_everywhere():
+    """The observability surface must stay documented as one unit.
+
+    ``--trace``, ``--metrics-out``, and the verbosity flags must be exposed
+    on the experiment commands and sweep; the flags, the ``stats``
+    subcommand, and the read-only contract must be described in the README,
+    the CLI module docstring, and the architecture guide.
+    """
+    parser = cli.build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name in ("traffic", "sweep"):
+                sub = action.choices[name]
+                flags = [flag for a in sub._actions for flag in a.option_strings]
+                for flag in ("--trace", "--metrics-out", "--verbose", "--quiet"):
+                    assert flag in flags, f"{name} lost the {flag} option"
+            stats = action.choices["stats"]
+            stats_flags = [flag for a in stats._actions for flag in a.option_strings]
+            assert "--trace" in stats_flags and "--metrics" in stats_flags
+    readme = README.read_text(encoding="utf-8")
+    architecture = ARCHITECTURE.read_text(encoding="utf-8")
+    for flag in ("--trace", "--metrics-out"):
+        assert flag in readme, f"{flag} is not documented in README.md"
+        assert flag in cli.__doc__, f"{flag} is not in the repro.cli docstring"
+    assert "Observability" in architecture
+    for concept in (
+        "IOT_REPRO_TRACE",  # the env var spawned workers re-open the sink from
+        "MetricsRegistry",
+        "read-only",  # the hard contract
+        "span",
+        "coverage",  # root-span wall-clock accounting
+    ):
+        assert concept in architecture, f"ARCHITECTURE.md does not mention {concept!r}"
+
+
 def test_readme_documents_install_and_benchmarks():
     text = README.read_text(encoding="utf-8")
     assert "PYTHONPATH=src" in text
