@@ -1,10 +1,19 @@
-"""Benchmark P-F1: grouped flow aggregation, record scan vs. columnar table.
+"""Benchmark P-F1: grouped flow aggregation, record scan vs. kernel backends.
 
 Times the seed-equivalent linear pass over ``FlowRecord`` lists against the
-columnar :class:`~repro.flows.flowtable.FlowTable` on a >=500k-flow corpus for
-the hottest Section 5 aggregation (per provider x hour down/up volume) plus a
-distinct-count grouping, and records the numbers in ``BENCH_flowtable.json``
-at the repository root so future PRs can track the perf trajectory.
+grouped-aggregation kernels (:mod:`repro.flows.kernels`) on a >=500k-flow
+corpus for the hottest Section 5 aggregation (per provider x hour down/up
+volume) plus a distinct-count grouping.  Both kernel backends are measured:
+the pure-python fused kernels always, numpy when importable; the headline
+``volume_speedup``/``distinct_speedup`` numbers and the ``kernel_backend``
+stamp come from the fastest backend available, and the ``python_*`` fields
+always record the fallback path so a backend switch can never hide a
+regression (``check_bench_schema.py`` requires all of them).
+
+Floors enforced here (the ROADMAP perf-ladder acceptance numbers):
+
+* pure-python fused kernels: volume >= 1.2x the naive scan,
+* numpy kernels (when available): volume and distinct >= 5x.
 """
 
 from __future__ import annotations
@@ -18,11 +27,15 @@ from pathlib import Path
 
 from conftest import emit
 
+from repro.flows import kernels
 from repro.flows.flowtable import FlowTable
 from repro.flows.netflow import make_flow
 from repro.obs.bench import bench_env
 
 FLOW_COUNT = 500_000
+
+#: The benchmarked grouping: the Section 5 provider x hour aggregation.
+GROUP_BY = ("provider_key", "timestamp")
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_flowtable.json"
 
@@ -92,6 +105,31 @@ def _best_of(callable_, repeats=3):
     return best, result
 
 
+def _measure_backend(table: FlowTable, backend: str) -> dict:
+    """Time index build + both aggregations on one kernel backend."""
+    kernels.set_backend(backend)
+    try:
+        table._group_cache.clear()
+        index_seconds, _ = _best_of(lambda: kernels.build_group_index(table, GROUP_BY))
+        # Aggregations run against the cached GroupIndex, as analyses do.
+        table.group_index(GROUP_BY)
+        volume_seconds, volume = _best_of(
+            lambda: table.group_sums(GROUP_BY, ("bytes_down", "bytes_up"))
+        )
+        distinct_seconds, distinct = _best_of(
+            lambda: table.group_distinct_count(GROUP_BY, "subscriber_id")
+        )
+    finally:
+        kernels.set_backend(None)
+    return {
+        "index_seconds": index_seconds,
+        "volume_seconds": volume_seconds,
+        "volume": volume,
+        "distinct_seconds": distinct_seconds,
+        "distinct": distinct,
+    }
+
+
 def test_perf_flowtable_grouped_aggregation():
     flows = _generate_flows(FLOW_COUNT)
 
@@ -102,37 +140,48 @@ def test_perf_flowtable_grouped_aggregation():
     table = FlowTable.from_records(flows)
     build_seconds = time.perf_counter() - start
 
-    table_volume_seconds, table_volume = _best_of(
-        lambda: table.group_sums(("provider_key", "timestamp"), ("bytes_down", "bytes_up"))
-    )
-    table_lines_seconds, table_lines = _best_of(
-        lambda: table.group_distinct_count(("provider_key", "timestamp"), "subscriber_id")
-    )
+    python_run = _measure_backend(table, kernels.BACKEND_PYTHON)
+    runs = {kernels.BACKEND_PYTHON: python_run}
+    if kernels.numpy_available():
+        runs[kernels.BACKEND_NUMPY] = _measure_backend(table, kernels.BACKEND_NUMPY)
 
-    # Parity with the naive pass.
-    assert set(table_volume) == set(naive_volume)
-    for key, (down, up) in naive_volume.items():
-        assert abs(table_volume[key][0] - down) < 1e-6 * max(1.0, down)
-        assert abs(table_volume[key][1] - up) < 1e-6 * max(1.0, up)
-    assert table_lines == naive_lines
+    # Bit-parity with the naive pass on every backend: same keys, same float
+    # sums (both accumulate in row order from zero), same distinct counts.
+    for run in runs.values():
+        assert run["volume"] == naive_volume
+        assert run["distinct"] == naive_lines
+
+    headline_backend = (
+        kernels.BACKEND_NUMPY if kernels.BACKEND_NUMPY in runs else kernels.BACKEND_PYTHON
+    )
+    headline = runs[headline_backend]
 
     payload = {
         "benchmark": "flowtable-grouped-aggregation",
         **bench_env(),
+        "kernel_backend": headline_backend,
         "flow_count": len(flows),
-        "group_count": len(table_volume),
+        "group_count": len(headline["volume"]),
         "build_seconds": round(build_seconds, 4),
+        "index_build_seconds": round(headline["index_seconds"], 4),
         "naive_volume_seconds": round(naive_volume_seconds, 4),
-        "table_volume_seconds": round(table_volume_seconds, 4),
-        "volume_rows_per_sec": round(len(flows) / table_volume_seconds),
-        "volume_speedup": round(naive_volume_seconds / table_volume_seconds, 2),
+        "table_volume_seconds": round(headline["volume_seconds"], 4),
+        "volume_rows_per_sec": round(len(flows) / headline["volume_seconds"]),
+        "volume_speedup": round(naive_volume_seconds / headline["volume_seconds"], 2),
         "naive_distinct_seconds": round(naive_lines_seconds, 4),
-        "table_distinct_seconds": round(table_lines_seconds, 4),
-        "distinct_speedup": round(naive_lines_seconds / table_lines_seconds, 2),
+        "table_distinct_seconds": round(headline["distinct_seconds"], 4),
+        "distinct_speedup": round(naive_lines_seconds / headline["distinct_seconds"], 2),
+        "python_volume_seconds": round(python_run["volume_seconds"], 4),
+        "python_volume_speedup": round(naive_volume_seconds / python_run["volume_seconds"], 2),
+        "python_distinct_seconds": round(python_run["distinct_seconds"], 4),
+        "python_distinct_speedup": round(naive_lines_seconds / python_run["distinct_seconds"], 2),
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    emit("Benchmark: columnar grouped aggregation", json.dumps(payload, indent=2))
+    emit("Benchmark: grouped-aggregation kernels", json.dumps(payload, indent=2))
 
-    # The columnar pass must at least keep up with the naive scan; the win is
-    # that conversion happens once while the analyses run many aggregations.
-    assert table_volume_seconds < naive_volume_seconds * 1.5
+    # Perf floors: the pure-python fused path must beat the naive scan on the
+    # hottest aggregation; the numpy kernels must clear 5x on both.
+    assert payload["python_volume_speedup"] >= 1.2
+    if headline_backend == kernels.BACKEND_NUMPY:
+        assert payload["volume_speedup"] >= 5.0
+        assert payload["distinct_speedup"] >= 5.0

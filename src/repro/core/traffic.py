@@ -30,10 +30,9 @@ from __future__ import annotations
 
 import bisect
 from collections import defaultdict
-from itertools import compress
 from dataclasses import dataclass, field
 from datetime import date, datetime
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.discovery import DiscoveryResult
 from repro.flows.anonymize import AnonymizationMap
@@ -118,22 +117,23 @@ class ScannerExclusion:
         mask: Optional[Sequence[int]] = None,
     ) -> None:
         self.backend_ips = set(backend_ips)
-        self._contacts: Dict[int, Set[str]] = defaultdict(set)
         table = FlowTable.ensure(flows)
         ip_pool = table.pool("server_ip")
         is_backend = bytearray(len(ip_pool))
         for code, ip in enumerate(ip_pool):
             if ip in self.backend_ips:
                 is_backend[code] = 1
-        lines: Iterable = table.numeric("subscriber_id")
-        codes: Iterable = table.codes("server_ip")
-        if mask is not None:
-            lines = compress(lines, mask)
-            codes = compress(codes, mask)
-        contacts = self._contacts
-        for line, code in zip(lines, codes):
-            if is_backend[code]:
-                contacts[line].add(ip_pool[code])
+        codes = table.codes("server_ip")
+        if mask is None:
+            row_mask = bytearray(map(is_backend.__getitem__, codes))
+        else:
+            row_mask = bytearray(
+                1 if keep and is_backend[code] else 0
+                for keep, code in zip(mask, codes)
+            )
+        self._contacts: Dict[int, Set[str]] = table.group_distinct(
+            ("subscriber_id",), "server_ip", mask=row_mask
+        )
 
     def contacts_per_line(self) -> Dict[int, int]:
         """Number of distinct backend addresses contacted per subscriber line."""

@@ -21,6 +21,14 @@ combination -- provider, hour, subscriber, port, continent pair.  The
 Section 5 analyses in :mod:`repro.core.traffic` run on these primitives
 instead of repeated linear passes over record lists.
 
+The aggregations themselves are executed by the pluggable kernel layer in
+:mod:`repro.flows.kernels` (fused pure-python loops, optional numpy backend
+behind ``IOT_REPRO_KERNELS``).  The grouping permutation is computed once per
+``(table, key columns)`` pair -- :meth:`group_index` -- and cached until any
+mutating primitive (:meth:`extend`, :meth:`append_columns`,
+:meth:`extend_table`, :meth:`truncate`, :meth:`assign_numeric`) bumps the
+table's mutation counter, so analyses sharing a grouping share the index.
+
 ``FlowTable`` iterates and indexes like a sequence of ``FlowRecord`` (records
 are materialized on demand), so it is a drop-in argument anywhere a flow
 sequence is accepted; :meth:`from_records`/:meth:`to_records` convert
@@ -125,6 +133,20 @@ class FlowTable:
             name: array(typecode) for name, typecode in NUMERIC_COLUMNS
         }
         self._length = 0
+        #: Mutation counter: bumped by every row-mutating primitive so cached
+        #: :class:`~repro.flows.kernels.GroupIndex` objects can never be
+        #: reused across a mutation (pool growth alone leaves rows intact and
+        #: does not bump it).
+        self._version = 0
+        self._group_cache: Dict[Tuple[str, ...], "kernels.GroupIndex"] = {}
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Group indexes are derived data; drop them so pickled tables (the
+        # parallel-generation batch shipping path) stay compact and free of
+        # backend-specific objects.
+        state = dict(self.__dict__)
+        state["_group_cache"] = {}
+        return state
 
     # -- construction ------------------------------------------------------------
 
@@ -211,6 +233,8 @@ class FlowTable:
                 del self._numeric[name][self._length :]
             raise
         self._length = target
+        if count:
+            self._version += 1
 
     def extend_table(self, other: "FlowTable") -> None:
         """Append another table's rows, remapping its dictionary codes.
@@ -260,6 +284,8 @@ class FlowTable:
         """
         if length < 0 or length > self._length:
             raise ValueError(f"cannot truncate {self._length} rows to {length}")
+        if length != self._length:
+            self._version += 1
         for name in CATEGORICAL_COLUMNS:
             del self._codes[name][length:]
         for name, _typecode in NUMERIC_COLUMNS:
@@ -279,6 +305,7 @@ class FlowTable:
                 f"column {name!r}: got {len(column)} values for {self._length} rows"
             )
         self._numeric[name] = column
+        self._version += 1
 
     def extend(self, records: Iterable[FlowRecord]) -> None:
         """Append many records.
@@ -374,6 +401,8 @@ class FlowTable:
             sampled_append(1 if sampled else 0)
             count += 1
         self._length += count
+        if count:
+            self._version += 1
 
     # -- sequence protocol -------------------------------------------------------
 
@@ -553,40 +582,28 @@ class FlowTable:
 
     # -- grouped aggregation -----------------------------------------------------
 
-    def _group_codes(self, by: Sequence[str]) -> Tuple[Iterable, Callable[[object], GroupKey]]:
-        """Per-row composite key iterator plus a decoder back to values.
+    def _group_decoder(self, by: Sequence[str]) -> Callable[[object], GroupKey]:
+        """Decoder from packed/tuple composite keys back to column values.
 
-        All-categorical key combinations are packed into single integers
-        (mixed-radix over the pool sizes): int keys hash far faster than
-        tuples of strings/datetimes, which is where grouped aggregations
-        spend their time.
+        Split out of :meth:`_group_codes` so the numpy index builder can pack
+        keys column-wise without paying the python per-row key build.
         """
         if len(by) == 1:
-            keys, pool = self._key_column(by[0])
+            _keys, pool = self._key_column(by[0])
             if pool is None:
-                return keys, lambda key: key
-            return keys, lambda key: pool[key]
+                return lambda key: key
+            return lambda key: pool[key]
         if all(name in self._codes for name in by):
-            code_arrays = [self._codes[name] for name in by]
             pools = [self._pools[name].values for name in by]
             sizes = [len(pool) for pool in pools]
             if len(by) == 2:
-                first, second = code_arrays
                 radix = sizes[1]
                 first_pool, second_pool = pools
-                keys = [a * radix + b for a, b in zip(first, second)]
 
                 def decode_pair(key: int) -> Tuple[object, object]:
                     return (first_pool[key // radix], second_pool[key % radix])
 
-                return keys, decode_pair
-
-            packed: List[int] = []
-            for row in zip(*code_arrays):
-                key = 0
-                for code, size in zip(row, sizes):
-                    key = key * size + code
-                packed.append(key)
+                return decode_pair
 
             def decode_packed(key: int) -> Tuple[object, ...]:
                 parts: List[object] = []
@@ -595,17 +612,69 @@ class FlowTable:
                     parts.append(pool[code])
                 return tuple(reversed(parts))
 
-            return packed, decode_packed
-        columns = [self._key_column(name) for name in by]
-        rows = zip(*(keys for keys, _ in columns))
-        pools = [pool for _, pool in columns]
+            return decode_packed
+        pools = [self._key_column(name)[1] for name in by]
 
         def decode(key: Tuple[int, ...]) -> Tuple[object, ...]:
             return tuple(
                 part if pool is None else pool[part] for part, pool in zip(key, pools)
             )
 
+        return decode
+
+    def _group_codes(self, by: Sequence[str]) -> Tuple[Iterable, Callable[[object], GroupKey]]:
+        """Per-row composite key iterator plus a decoder back to values.
+
+        All-categorical key combinations are packed into single integers
+        (mixed-radix over the pool sizes): int keys hash far faster than
+        tuples of strings/datetimes, which is where grouped aggregations
+        spend their time.
+        """
+        decode = self._group_decoder(by)
+        if len(by) == 1:
+            keys, _pool = self._key_column(by[0])
+            return keys, decode
+        if all(name in self._codes for name in by):
+            code_arrays = [self._codes[name] for name in by]
+            sizes = [len(self._pools[name].values) for name in by]
+            if len(by) == 2:
+                first, second = code_arrays
+                radix = sizes[1]
+                return [a * radix + b for a, b in zip(first, second)], decode
+            packed: List[int] = []
+            for row in zip(*code_arrays):
+                key = 0
+                for code, size in zip(row, sizes):
+                    key = key * size + code
+                packed.append(key)
+            return packed, decode
+        rows = zip(*(self._key_column(name)[0] for name in by))
         return rows, decode
+
+    def group_index(self, by: Sequence[str]) -> "kernels.GroupIndex":
+        """The cached grouping permutation for a key-column combination.
+
+        Built once per table revision and reused by every aggregation that
+        shares the grouping; any mutation (:meth:`extend`,
+        :meth:`append_columns`, :meth:`extend_table`, :meth:`truncate`,
+        :meth:`assign_numeric`) bumps :attr:`_version`, so a stale index can
+        never be returned.  Derived tables (:meth:`select`, slices) start
+        with an empty cache of their own.
+        """
+        from repro.flows import kernels
+        from repro.obs import metrics as obs_metrics
+
+        by = tuple(by)
+        cached = self._group_cache.get(by)
+        if cached is not None and cached.version == self._version:
+            if obs_metrics.enabled():
+                obs_metrics.inc("flowtable.group_index_hits")
+            return cached
+        if obs_metrics.enabled():
+            obs_metrics.inc("flowtable.group_index_builds")
+        index = kernels.build_group_index(self, by)
+        self._group_cache[by] = index
+        return index
 
     def group_sums(
         self,
@@ -619,39 +688,14 @@ class FlowTable:
         the bare value, multi-column keys to a tuple.  ``mask`` restricts the
         aggregation to the rows whose mask entry is truthy without copying
         any column.  Returns ``{key: [sum per value column]}``.
+
+        Runs on the active :mod:`repro.flows.kernels` backend over the cached
+        :meth:`group_index`; all backends are bit-identical to the reference
+        kernels (see ``tests/test_kernel_parity.py``).
         """
-        keys, decode = self._group_codes(by)
-        value_arrays: List[Iterable] = [self._numeric[name] for name in values]
-        if mask is not None:
-            keys = compress(keys, mask)
-            value_arrays = [compress(column, mask) for column in value_arrays]
-        sums: Dict[object, List[float]] = {}
-        if len(value_arrays) == 1:
-            column = value_arrays[0]
-            for key, value in zip(keys, column):
-                bucket = sums.get(key)
-                if bucket is None:
-                    sums[key] = [value]
-                else:
-                    bucket[0] += value
-        elif len(value_arrays) == 2:
-            first, second = value_arrays
-            for key, value_a, value_b in zip(keys, first, second):
-                bucket = sums.get(key)
-                if bucket is None:
-                    sums[key] = [value_a, value_b]
-                else:
-                    bucket[0] += value_a
-                    bucket[1] += value_b
-        else:
-            for key, row in zip(keys, zip(*value_arrays)):
-                bucket = sums.get(key)
-                if bucket is None:
-                    sums[key] = list(row)
-                else:
-                    for position, value in enumerate(row):
-                        bucket[position] += value
-        return {decode(key): bucket for key, bucket in sums.items()}
+        from repro.flows import kernels
+
+        return kernels.group_sums(self, by, values, mask)
 
     def group_sum(
         self, by: Sequence[str], value: str, mask: Optional[Sequence[int]] = None
@@ -659,49 +703,30 @@ class FlowTable:
         """Sum one numeric column per group key."""
         return {key: sums[0] for key, sums in self.group_sums(by, (value,), mask=mask).items()}
 
-    def _grouped_code_sets(
-        self, by: Sequence[str], of: str, mask: Optional[Sequence[int]]
-    ) -> Tuple[Dict[object, Set], Callable[[object], GroupKey], Optional[List[object]]]:
-        keys, decode = self._group_codes(by)
-        of_keys, of_pool = self._key_column(of)
-        if mask is not None:
-            keys = compress(keys, mask)
-            of_keys = compress(of_keys, mask)
-        groups: Dict[object, Set] = {}
-        for key, member in zip(keys, of_keys):
-            bucket = groups.get(key)
-            if bucket is None:
-                groups[key] = {member}
-            else:
-                bucket.add(member)
-        return groups, decode, of_pool
-
     def group_distinct(
         self, by: Sequence[str], of: str, mask: Optional[Sequence[int]] = None
     ) -> Dict[GroupKey, Set[object]]:
         """Distinct values of one column per group key (mask-restrictable)."""
-        groups, decode, of_pool = self._grouped_code_sets(by, of, mask)
-        if of_pool is None:
-            return {decode(key): bucket for key, bucket in groups.items()}
-        return {
-            decode(key): {of_pool[member] for member in bucket}
-            for key, bucket in groups.items()
-        }
+        from repro.flows import kernels
+
+        return kernels.group_distinct(self, by, of, mask)
 
     def group_distinct_count(
         self, by: Sequence[str], of: str, mask: Optional[Sequence[int]] = None
     ) -> Dict[GroupKey, int]:
         """Number of distinct values of one column per group key."""
-        groups, decode, _ = self._grouped_code_sets(by, of, mask)
-        return {decode(key): len(bucket) for key, bucket in groups.items()}
+        from repro.flows import kernels
+
+        return kernels.group_distinct_count(self, by, of, mask)
 
     def distinct(self, name: str) -> Set[object]:
         """Distinct values of one column across the whole table."""
-        if name in self._codes:
-            pool = self._pools[name].values
-            return {pool[code] for code in set(self._codes[name])}
-        return set(self._numeric[name])
+        from repro.flows import kernels
+
+        return kernels.distinct(self, name)
 
     def total(self, value: str) -> float:
         """Sum of one numeric column over all rows."""
-        return sum(self._numeric[value])
+        from repro.flows import kernels
+
+        return kernels.total(self, value)

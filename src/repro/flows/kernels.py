@@ -1,0 +1,479 @@
+"""Pluggable grouped-aggregation kernels for :class:`~repro.flows.flowtable.FlowTable`.
+
+The Section 5 analyses (traffic shares, distinct-destination footprints,
+outage deltas) all reduce to grouped aggregations over period flow tables.
+This module turns those aggregations into a kernel layer with three
+interchangeable implementations:
+
+* **Reference kernels** (``reference_*``) -- the original dict-per-metric
+  loops, kept verbatim as the semantic ground truth the other backends are
+  differentially fuzzed against (``tests/test_kernel_parity.py``).
+* **Fused pure-python kernels** -- a :class:`GroupIndex` maps every row to a
+  dense group id once per ``(table, key columns)`` pair; aggregations then
+  run a single traversal accumulating into flat lists indexed by group id,
+  skipping both the per-call packed-key build and the per-row dict probes.
+* **Numpy kernels** (:mod:`repro.flows.kernels_np`, import-guarded) -- the
+  same contracts on ``bincount``/``unique``; selected automatically when
+  numpy is importable.
+
+Backend selection: ``IOT_REPRO_KERNELS=python|numpy`` forces a backend,
+:func:`set_backend` overrides it in-process (tests, benchmarks), and with
+neither set the numpy backend is auto-detected.  All backends are
+**bit-identical**: float group sums accumulate in row order on every path
+(numpy ``bincount`` is a sequential loop), integer sums that could overflow
+an int64 accumulator fall back to the python kernels (exact arbitrary
+precision), and result dicts preserve the first-appearance key order of the
+reference implementation.  The one documented exception: a group whose
+*first* contribution is ``-0.0`` keeps the sign bit on the python paths but
+not under numpy (``bincount`` starts from ``+0.0``).
+
+The :class:`GroupIndex` cache lives on the table (``FlowTable.group_index``)
+and is invalidated by a mutation counter bumped by every mutating primitive
+(``extend``/``append_columns``/``extend_table``/``truncate``/
+``assign_numeric``); pool growth alone (``encode_value``, sibling tables
+sharing pools) does not change any row and deliberately does not invalidate.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from itertools import compress
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.flows.flowtable import FlowTable, GroupKey
+
+#: Environment variable forcing a kernel backend (``python`` or ``numpy``).
+KERNELS_ENV_VAR = "IOT_REPRO_KERNELS"
+
+BACKEND_PYTHON = "python"
+BACKEND_NUMPY = "numpy"
+
+#: Conservative magnitude bound for int64 accumulation: when
+#: ``max(|value|) * rows`` could reach 2**62 the numpy integer kernels defer
+#: to the python paths, whose arbitrary-precision ints cannot overflow.
+INT64_SAFE_LIMIT = 2**62
+
+_UNSET = object()
+_np_kernels = _UNSET
+_backend_override: Optional[str] = None
+
+
+def _numpy_kernels():
+    """The numpy kernel module, or ``None`` when numpy is not importable."""
+    global _np_kernels
+    if _np_kernels is _UNSET:
+        try:
+            from repro.flows import kernels_np
+        except ImportError:
+            _np_kernels = None
+        else:
+            _np_kernels = kernels_np
+    return _np_kernels
+
+
+def numpy_available() -> bool:
+    """True when the numpy backend can be used in this interpreter."""
+    return _numpy_kernels() is not None
+
+
+def set_backend(backend: Optional[str]) -> None:
+    """Force a kernel backend in-process (``None`` restores auto-detection).
+
+    Takes precedence over ``IOT_REPRO_KERNELS``.  Requesting ``numpy`` in an
+    interpreter without numpy raises immediately instead of silently running
+    the python kernels, so benchmarks and tests cannot mis-report a backend.
+    """
+    if backend not in (None, BACKEND_PYTHON, BACKEND_NUMPY):
+        raise ValueError(f"unknown kernel backend {backend!r}")
+    if backend == BACKEND_NUMPY and not numpy_available():
+        raise RuntimeError("kernel backend 'numpy' requested but numpy is not importable")
+    global _backend_override
+    _backend_override = backend
+
+
+def active_backend() -> str:
+    """The kernel backend aggregations will dispatch to right now."""
+    if _backend_override is not None:
+        return _backend_override
+    env = os.environ.get(KERNELS_ENV_VAR, "").strip().lower()
+    if env:
+        if env not in (BACKEND_PYTHON, BACKEND_NUMPY):
+            raise ValueError(f"{KERNELS_ENV_VAR}={env!r}: expected 'python' or 'numpy'")
+        if env == BACKEND_NUMPY and not numpy_available():
+            raise RuntimeError(f"{KERNELS_ENV_VAR}=numpy but numpy is not importable")
+        return env
+    return BACKEND_NUMPY if numpy_available() else BACKEND_PYTHON
+
+
+def _use_numpy() -> bool:
+    return active_backend() == BACKEND_NUMPY
+
+
+# ---------------------------------------------------------------------------------
+# Group index
+# ---------------------------------------------------------------------------------
+
+
+class GroupIndex:
+    """The grouping permutation of one ``(table, key columns)`` pair.
+
+    ``gids[row]`` is a dense group id in first-appearance order;
+    ``group_keys[gid]`` is the decoded group key (bare value for one key
+    column, tuple for several) -- exactly the dict keys, in exactly the
+    insertion order, the reference kernels produce.  The index is
+    mask-independent (masks subset rows at aggregation time) and is computed
+    once per table revision: ``version`` snapshots the owning table's
+    mutation counter so any row mutation makes the cached index unusable.
+    """
+
+    __slots__ = ("by", "version", "gids", "group_keys", "_gids_np")
+
+    def __init__(self, by: Tuple[str, ...], version: int, gids: array, group_keys: List["GroupKey"]) -> None:
+        self.by = by
+        self.version = version
+        self.gids = gids
+        self.group_keys = group_keys
+        self._gids_np = None
+
+    def __len__(self) -> int:
+        return len(self.group_keys)
+
+    def gids_numpy(self):
+        """The row->group-id mapping as an int64 numpy view (lazily cached)."""
+        if self._gids_np is None:
+            import numpy
+
+            self._gids_np = numpy.frombuffer(self.gids, dtype=numpy.int64)
+        return self._gids_np
+
+
+def build_group_index(table: "FlowTable", by: Tuple[str, ...]) -> GroupIndex:
+    """Build the dense grouping of a table over the given key columns.
+
+    The numpy builder is used when the active backend is numpy and every key
+    column packs into int64 (all-categorical combinations, or a single
+    integer column); both builders produce identical indexes, which the
+    parity harness asserts.
+    """
+    version = table._version
+    if _use_numpy():
+        built = _numpy_kernels().build_group_index(table, by)
+        if built is not NotImplemented:
+            gids, packed_keys = built
+            decode = table._group_decoder(by)
+            return GroupIndex(by, version, gids, [decode(key) for key in packed_keys])
+    keys, decode = table._group_codes(by)
+    gid_of: Dict[object, int] = {}
+    gids = array("q")
+    append = gids.append
+    for key in keys:
+        gid = gid_of.get(key)
+        if gid is None:
+            gid = gid_of[key] = len(gid_of)
+        append(gid)
+    return GroupIndex(by, version, gids, [decode(key) for key in gid_of])
+
+
+# ---------------------------------------------------------------------------------
+# Dispatchers (called by FlowTable)
+# ---------------------------------------------------------------------------------
+
+
+def group_sums(
+    table: "FlowTable",
+    by: Sequence[str],
+    values: Sequence[str],
+    mask: Optional[Sequence[int]] = None,
+) -> Dict["GroupKey", List[float]]:
+    """Sum numeric columns per group key on the active backend."""
+    index = table.group_index(by)
+    columns = [table.numeric(name) for name in values]
+    if _use_numpy():
+        result = _numpy_kernels().group_sums(index, columns, mask)
+        if result is not NotImplemented:
+            return result
+    return fused_group_sums(index, columns, mask)
+
+
+def group_distinct_count(
+    table: "FlowTable",
+    by: Sequence[str],
+    of: str,
+    mask: Optional[Sequence[int]] = None,
+) -> Dict["GroupKey", int]:
+    """Count distinct values of one column per group key on the active backend."""
+    index = table.group_index(by)
+    members, _pool = table._key_column(of)
+    if _use_numpy():
+        result = _numpy_kernels().group_distinct_count(index, members, mask)
+        if result is not NotImplemented:
+            return result
+    return fused_group_distinct_count(index, members, mask)
+
+
+def group_distinct(
+    table: "FlowTable",
+    by: Sequence[str],
+    of: str,
+    mask: Optional[Sequence[int]] = None,
+) -> Dict["GroupKey", Set[object]]:
+    """Distinct values of one column per group key on the active backend."""
+    index = table.group_index(by)
+    members, pool = table._key_column(of)
+    if _use_numpy():
+        result = _numpy_kernels().group_distinct(index, members, pool, mask)
+        if result is not NotImplemented:
+            return result
+    return fused_group_distinct(index, members, pool, mask)
+
+
+def total(table: "FlowTable", value: str) -> float:
+    """Sum one numeric column over all rows on the active backend."""
+    column = table.numeric(value)
+    if _use_numpy():
+        result = _numpy_kernels().total(column)
+        if result is not NotImplemented:
+            return result
+    return sum(column)
+
+
+def distinct(table: "FlowTable", name: str) -> Set[object]:
+    """Distinct values of one column across the whole table."""
+    if table.is_categorical(name):
+        pool = table.pool(name)
+        codes = table.codes(name)
+        if _use_numpy():
+            result = _numpy_kernels().distinct_codes(codes)
+            if result is not NotImplemented:
+                return {pool[code] for code in result}
+        return {pool[code] for code in set(codes)}
+    column = table.numeric(name)
+    if _use_numpy():
+        result = _numpy_kernels().distinct_values(column)
+        if result is not NotImplemented:
+            return result
+    return set(column)
+
+
+# ---------------------------------------------------------------------------------
+# Fused pure-python kernels
+# ---------------------------------------------------------------------------------
+
+
+def fused_group_sums(
+    index: GroupIndex, columns: Sequence[Sequence], mask: Optional[Sequence[int]]
+) -> Dict["GroupKey", List[float]]:
+    """One traversal over dense group ids, accumulating into flat lists.
+
+    Initializing accumulators with integer ``0`` reproduces the reference
+    semantics bit for bit: ``0 + v`` adopts the first value unchanged
+    (including a ``-0.0`` sign bit) and keeps integer sums exact at arbitrary
+    precision.
+    """
+    group_keys = index.group_keys
+    count = len(group_keys)
+    if not count:
+        return {}
+    gids: Sequence[int] = index.gids
+    if mask is None:
+        if len(columns) == 1:
+            sums = [0] * count
+            for gid, value in zip(gids, columns[0]):
+                sums[gid] += value
+            return {key: [value] for key, value in zip(group_keys, sums)}
+        if len(columns) == 2:
+            first, second = columns
+            sums_a = [0] * count
+            sums_b = [0] * count
+            for gid, value_a, value_b in zip(gids, first, second):
+                sums_a[gid] += value_a
+                sums_b[gid] += value_b
+            return {
+                key: [value_a, value_b]
+                for key, value_a, value_b in zip(group_keys, sums_a, sums_b)
+            }
+        buckets = [[0] * len(columns) for _ in range(count)]
+        for gid, row in zip(gids, zip(*columns)):
+            bucket = buckets[gid]
+            for position, value in enumerate(row):
+                bucket[position] += value
+        return dict(zip(group_keys, buckets))
+    # Masked: only groups with surviving rows appear, in masked
+    # first-appearance order (the reference dict-insertion order).
+    slots: List[Optional[List[float]]] = [None] * count
+    order: List[int] = []
+    push = order.append
+    rows = zip(compress(gids, mask), *(compress(column, mask) for column in columns))
+    for gid, *row in rows:
+        bucket = slots[gid]
+        if bucket is None:
+            slots[gid] = list(row)
+            push(gid)
+        else:
+            for position, value in enumerate(row):
+                bucket[position] += value
+    return {group_keys[gid]: slots[gid] for gid in order}
+
+
+def fused_group_distinct_count(
+    index: GroupIndex, members: Sequence, mask: Optional[Sequence[int]]
+) -> Dict["GroupKey", int]:
+    """Distinct-count via per-group set buckets indexed by dense group id.
+
+    The dense-id list lookup replaces the reference path's packed-key dict
+    probe on every row, which is where the original loop spent its time.
+    """
+    group_keys = index.group_keys
+    count = len(group_keys)
+    if not count:
+        return {}
+    gids: Sequence[int] = index.gids
+    if mask is not None:
+        gids = compress(gids, mask)
+        members = compress(members, mask)
+    slots, order = _member_sets_from(gids, members, count)
+    return {group_keys[gid]: len(slots[gid]) for gid in order}
+
+
+def fused_group_distinct(
+    index: GroupIndex,
+    members: Sequence,
+    pool: Optional[List[object]],
+    mask: Optional[Sequence[int]],
+) -> Dict["GroupKey", Set[object]]:
+    """Per-group sets of decoded member values."""
+    if not index.group_keys:
+        return {}
+    gids: Sequence[int] = index.gids
+    if mask is not None:
+        gids = compress(gids, mask)
+        members = compress(members, mask)
+    slots, order = _member_sets_from(gids, members, len(index.group_keys))
+    group_keys = index.group_keys
+    if pool is None:
+        return {group_keys[gid]: slots[gid] for gid in order}
+    return {
+        group_keys[gid]: {pool[member] for member in slots[gid]} for gid in order
+    }
+
+
+def _member_sets_from(
+    gids, members, count: int
+) -> Tuple[List[Optional[Set]], List[int]]:
+    slots: List[Optional[Set]] = [None] * count
+    order: List[int] = []
+    push = order.append
+    for gid, member in zip(gids, members):
+        bucket = slots[gid]
+        if bucket is None:
+            slots[gid] = {member}
+            push(gid)
+        else:
+            bucket.add(member)
+    return slots, order
+
+
+# ---------------------------------------------------------------------------------
+# Reference kernels (the original implementations, verbatim semantics)
+# ---------------------------------------------------------------------------------
+
+
+def reference_group_sums(
+    table: "FlowTable",
+    by: Sequence[str],
+    values: Sequence[str],
+    mask: Optional[Sequence[int]] = None,
+) -> Dict["GroupKey", List[float]]:
+    """The original dict-accumulator group-sum loop (parity ground truth)."""
+    keys, decode = table._group_codes(by)
+    value_arrays: List = [table.numeric(name) for name in values]
+    if mask is not None:
+        keys = compress(keys, mask)
+        value_arrays = [compress(column, mask) for column in value_arrays]
+    sums: Dict[object, List[float]] = {}
+    if len(value_arrays) == 1:
+        column = value_arrays[0]
+        for key, value in zip(keys, column):
+            bucket = sums.get(key)
+            if bucket is None:
+                sums[key] = [value]
+            else:
+                bucket[0] += value
+    elif len(value_arrays) == 2:
+        first, second = value_arrays
+        for key, value_a, value_b in zip(keys, first, second):
+            bucket = sums.get(key)
+            if bucket is None:
+                sums[key] = [value_a, value_b]
+            else:
+                bucket[0] += value_a
+                bucket[1] += value_b
+    else:
+        for key, row in zip(keys, zip(*value_arrays)):
+            bucket = sums.get(key)
+            if bucket is None:
+                sums[key] = list(row)
+            else:
+                for position, value in enumerate(row):
+                    bucket[position] += value
+    return {decode(key): bucket for key, bucket in sums.items()}
+
+
+def _reference_code_sets(
+    table: "FlowTable", by: Sequence[str], of: str, mask: Optional[Sequence[int]]
+):
+    keys, decode = table._group_codes(by)
+    of_keys, of_pool = table._key_column(of)
+    if mask is not None:
+        keys = compress(keys, mask)
+        of_keys = compress(of_keys, mask)
+    groups: Dict[object, Set] = {}
+    for key, member in zip(keys, of_keys):
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = {member}
+        else:
+            bucket.add(member)
+    return groups, decode, of_pool
+
+
+def reference_group_distinct(
+    table: "FlowTable",
+    by: Sequence[str],
+    of: str,
+    mask: Optional[Sequence[int]] = None,
+) -> Dict["GroupKey", Set[object]]:
+    """The original dict-of-sets distinct grouping (parity ground truth)."""
+    groups, decode, of_pool = _reference_code_sets(table, by, of, mask)
+    if of_pool is None:
+        return {decode(key): bucket for key, bucket in groups.items()}
+    return {
+        decode(key): {of_pool[member] for member in bucket}
+        for key, bucket in groups.items()
+    }
+
+
+def reference_group_distinct_count(
+    table: "FlowTable",
+    by: Sequence[str],
+    of: str,
+    mask: Optional[Sequence[int]] = None,
+) -> Dict["GroupKey", int]:
+    """The original distinct-count grouping (parity ground truth)."""
+    groups, decode, _ = _reference_code_sets(table, by, of, mask)
+    return {decode(key): len(bucket) for key, bucket in groups.items()}
+
+
+def reference_total(table: "FlowTable", value: str) -> float:
+    """Sequential python sum (parity ground truth)."""
+    return sum(table.numeric(value))
+
+
+def reference_distinct(table: "FlowTable", name: str) -> Set[object]:
+    """The original whole-table distinct (parity ground truth)."""
+    if table.is_categorical(name):
+        pool = table.pool(name)
+        return {pool[code] for code in set(table.codes(name))}
+    return set(table.numeric(name))

@@ -18,7 +18,12 @@ MetricFn = Callable[[ExperimentContext], Dict[str, object]]
 
 
 def traffic_metrics(context: ExperimentContext) -> Dict[str, object]:
-    """Volume/visibility summary of the scanner-cleaned main study week."""
+    """Volume/visibility summary of the scanner-cleaned main study week.
+
+    ``total``/``distinct`` dispatch through the pluggable aggregation kernels
+    (:mod:`repro.flows.kernels`); all backends are bit-identical, so rows stay
+    reproducible whether or not numpy is installed.
+    """
     table = context.clean_table()
     return {
         "clean_flows": len(table),

@@ -37,6 +37,28 @@ def test_checker_flags_stale_and_malformed_artifacts(tmp_path):
     assert any("speedup" in problem for problem in problems)
 
 
+def test_checker_requires_kernel_backend_stamp(tmp_path):
+    """BENCH_flowtable.json without a kernel_backend string must fail."""
+    checker = _checker()
+    (tmp_path / "benchmarks").mkdir()
+    (tmp_path / "benchmarks" / "test_perf_flowtable.py").write_text("# regenerator\n")
+    payload = json.loads((ROOT / "BENCH_flowtable.json").read_text())
+    assert payload["kernel_backend"] in ("python", "numpy")
+    del payload["kernel_backend"]
+    (tmp_path / "BENCH_flowtable.json").write_text(json.dumps(payload))
+    problems = checker.check_bench_files(tmp_path)
+    assert any("kernel_backend" in problem for problem in problems)
+    # An empty stamp is as bad as a missing one.
+    payload["kernel_backend"] = ""
+    (tmp_path / "BENCH_flowtable.json").write_text(json.dumps(payload))
+    problems = checker.check_bench_files(tmp_path)
+    assert any("kernel_backend" in problem for problem in problems)
+    # Restoring the stamp clears the artifact.
+    payload["kernel_backend"] = "python"
+    (tmp_path / "BENCH_flowtable.json").write_text(json.dumps(payload))
+    assert checker.check_bench_files(tmp_path) == []
+
+
 def test_checker_main_exit_codes(tmp_path):
     checker = _checker()
     assert checker.main([str(ROOT)]) == 0

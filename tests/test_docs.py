@@ -146,6 +146,35 @@ def test_observability_surface_is_documented_everywhere():
         assert concept in architecture, f"ARCHITECTURE.md does not mention {concept!r}"
 
 
+def test_kernel_surface_is_documented_everywhere():
+    """The aggregation-kernel surface must stay documented as one unit.
+
+    The ``IOT_REPRO_KERNELS`` env var must match the constant the kernels
+    actually read, the README must document the env var and the parity
+    guarantee, and the architecture guide must explain backend selection,
+    the GroupIndex lifecycle, and the parity contract.
+    """
+    from repro.flows import kernels
+
+    assert kernels.KERNELS_ENV_VAR == "IOT_REPRO_KERNELS"
+    readme = README.read_text(encoding="utf-8")
+    assert "IOT_REPRO_KERNELS" in readme, "kernel env var is not in README.md"
+    assert "bit-identical" in readme, "README.md lost the kernel parity guarantee"
+    assert "test_kernel_parity" in readme, "README.md does not name the parity harness"
+    architecture = ARCHITECTURE.read_text(encoding="utf-8")
+    assert "Aggregation kernels" in architecture
+    for concept in (
+        "IOT_REPRO_KERNELS",
+        "GroupIndex",
+        "kernels_np",
+        "kernel_backend",  # the BENCH_flowtable.json stamp
+        "NotImplemented",  # the per-input numpy->python fallback contract
+        "first-appearance",  # the dict-order part of the parity contract
+        "test_kernel_parity",
+    ):
+        assert concept in architecture, f"ARCHITECTURE.md does not mention {concept!r}"
+
+
 def test_readme_documents_install_and_benchmarks():
     text = README.read_text(encoding="utf-8")
     assert "PYTHONPATH=src" in text

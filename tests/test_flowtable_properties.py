@@ -175,6 +175,70 @@ class TestStatefulFuzz:
             assert table.to_records() == model, f"seed={seed}"
 
     @pytest.mark.parametrize("seed", SEEDS)
+    def test_aggregations_interleaved_with_mutations(self, seed):
+        """Grouped aggregations between mutations always match a fresh table.
+
+        This drives the GroupIndex cache exactly the way the analyses do --
+        aggregate, mutate, aggregate again -- and asserts every result equals
+        a recompute on a cache-free ``FlowTable.from_records`` clone, so a
+        stale cached grouping can never survive a mutation.  Seeds alternate
+        kernel backends so both the fused-python and (when importable) numpy
+        paths face the same sequences.
+        """
+        from repro.flows import kernels
+
+        backends = [kernels.BACKEND_PYTHON]
+        if kernels.numpy_available():
+            backends.append(kernels.BACKEND_NUMPY)
+        kernels.set_backend(backends[seed % len(backends)])
+        try:
+            rng = random.Random(4000 + seed)
+            model = []
+            table = FlowTable()
+            groupings = (
+                ("provider_key",),
+                ("provider_key", "timestamp"),
+                ("subscriber_id",),
+            )
+
+            def check_aggregations():
+                fresh = FlowTable.from_records(model)
+                by = groupings[rng.randrange(len(groupings))]
+                mask = None
+                if model and rng.random() < 0.5:
+                    mask = bytearray(rng.randrange(2) for _ in model)
+                assert table.group_sums(by, ("bytes_down", "bytes_up"), mask=mask) == (
+                    fresh.group_sums(by, ("bytes_down", "bytes_up"), mask=mask)
+                ), f"seed={seed}"
+                assert table.group_distinct_count(by, "server_ip", mask=mask) == (
+                    fresh.group_distinct_count(by, "server_ip", mask=mask)
+                ), f"seed={seed}"
+
+            check_aggregations()
+            for _step in range(10):
+                op = rng.randrange(4)
+                if op == 0:
+                    chunk = random_records(rng, rng.randrange(0, 60))
+                    table.extend_table(FlowTable.from_records(chunk))
+                    model.extend(chunk)
+                elif op == 1 and model:
+                    keep = rng.randrange(0, len(model) + 1)
+                    table.truncate(keep)
+                    del model[keep:]
+                elif op == 2 and model:
+                    lo = rng.randrange(0, len(model))
+                    hi = rng.randrange(lo, len(model) + 1)
+                    table.extend_table(table[lo:hi])
+                    model.extend(model[lo:hi])
+                else:
+                    indices = [i for i in range(len(model)) if rng.random() < 0.7]
+                    table = table.select(indices)
+                    model = [model[i] for i in indices]
+                check_aggregations()
+        finally:
+            kernels.set_backend(None)
+
+    @pytest.mark.parametrize("seed", SEEDS)
     def test_select_mask_and_slice_round_trips(self, seed):
         rng = random.Random(2000 + seed)
         records = random_records(rng, rng.randrange(1, 150))
