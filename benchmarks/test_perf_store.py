@@ -13,6 +13,12 @@ scanner-cleaned main-week table of the Section 5 analyses) twice:
 Warm output is asserted bit-identical to cold output, the codec's raw
 serialize/deserialize throughput is recorded, and the numbers land in
 ``BENCH_store.json`` at the repository root.
+
+The zero-copy read path gets its own enforced contrast: the persisted clean
+table is re-read warm through the eager decoder and through
+:func:`~repro.store.codec.load_table_mmap` (header + pools parsed, columns
+left on the map), the mmap table is asserted to re-dump byte-identically, and
+``mmap_speedup`` (eager warm read / mmap warm read) must stay >= 1.5x.
 """
 
 from __future__ import annotations
@@ -24,10 +30,11 @@ from pathlib import Path
 from conftest import emit
 
 from repro.experiments.context import build_context
+from repro.flows.flowtable import CATEGORICAL_COLUMNS, NUMERIC_COLUMNS
 from repro.obs.bench import bench_env
 from repro.simulation.config import ScenarioConfig
 from repro.store.artifacts import ArtifactStore
-from repro.store.codec import dumps_table, loads_table
+from repro.store.codec import dumps_table, load_table, load_table_mmap, loads_table
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_store.json"
 
@@ -66,6 +73,31 @@ def test_perf_store_warm_context(tmp_path):
     loads_table(blob)
     deserialize_seconds = time.perf_counter() - start
 
+    # Eager vs mmap warm reads of the persisted clean table (best of 5 each).
+    table_path = tmp_path / "clean.rft"
+    table_path.write_bytes(blob)
+    eager_read_seconds = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        with table_path.open("rb") as stream:
+            load_table(stream)
+        eager_read_seconds = min(eager_read_seconds, time.perf_counter() - start)
+    mmap_warm_seconds = float("inf")
+    mmap_table = None
+    for _ in range(5):
+        start = time.perf_counter()
+        mmap_table = load_table_mmap(table_path)
+        mmap_warm_seconds = min(mmap_warm_seconds, time.perf_counter() - start)
+    # Zero-copy parity: the mapped table re-dumps byte-identically.
+    assert dumps_table(mmap_table) == blob
+    start = time.perf_counter()
+    for name in CATEGORICAL_COLUMNS:
+        mmap_table.codes(name).materialize()
+    for name, _typecode in NUMERIC_COLUMNS:
+        mmap_table.numeric(name).materialize()
+    mmap_first_touch_seconds = time.perf_counter() - start
+    mmap_speedup = eager_read_seconds / mmap_warm_seconds
+
     warm_speedup = cold_seconds / warm_seconds
     payload = {
         "benchmark": "store-warm-context",
@@ -76,6 +108,10 @@ def test_perf_store_warm_context(tmp_path):
         "warm_speedup": round(warm_speedup, 2),
         "serialize_seconds": round(serialize_seconds, 4),
         "deserialize_seconds": round(deserialize_seconds, 4),
+        "eager_read_seconds": round(eager_read_seconds, 4),
+        "mmap_warm_seconds": round(mmap_warm_seconds, 4),
+        "mmap_first_touch_seconds": round(mmap_first_touch_seconds, 4),
+        "mmap_speedup": round(mmap_speedup, 2),
         "serialized_mb": round(len(blob) / 1e6, 2),
         "store_artifacts": len(store.entries()),
         "store_mb": round(store.total_bytes() / 1e6, 2),
@@ -85,3 +121,5 @@ def test_perf_store_warm_context(tmp_path):
 
     # The acceptance bar for the subsystem: warm-start >= 3x faster than cold.
     assert warm_speedup >= 3.0
+    # And for the zero-copy read path: mapping beats eager decode >= 1.5x.
+    assert mmap_speedup >= 1.5

@@ -34,6 +34,16 @@ are materialized on demand), so it is a drop-in argument anywhere a flow
 sequence is accepted; :meth:`from_records`/:meth:`to_records` convert
 losslessly in both directions.  Filtered tables share the value pools of their
 parent, which keeps slicing cheap.
+
+Columns are usually plain :mod:`array` objects, but a table loaded through the
+zero-copy store read path (:func:`repro.store.codec.load_table_mmap`) holds
+:class:`LazyColumn` views over the mapped artifact instead: the raw bytes stay
+on the map and are decoded into an ``array`` only on first sequence access,
+while the numpy kernel backend reads them directly via ``np.frombuffer`` with
+no copy at all.  Every mutating primitive runs the copy-on-write barrier
+(:meth:`FlowTable._materialize_for_write`) before touching a column, so by the
+time ``_version`` is bumped the table is array-backed again and the
+GroupIndex/mutation contract is unchanged.
 """
 
 from __future__ import annotations
@@ -104,6 +114,97 @@ _RECORD_FIELDS = attrgetter(
 
 GroupKey = Union[object, Tuple[object, ...]]
 
+#: numpy dtype strings of the fixed-width typecodes the codec emits (the
+#: platform-dependent ones -- 'l', 'L', ... -- never appear in artifacts).
+_NP_DTYPE_OF_TYPECODE = {"b": "int8", "i": "int32", "q": "int64", "d": "float64"}
+
+
+class LazyColumn:
+    """A read-only column decoded on first touch from a mapped byte buffer.
+
+    Holds the raw little-endian bytes of one serialized column -- typically a
+    ``memoryview`` slice over an mmap'd store artifact -- and presents the
+    sequence protocol of the ``array`` it stands in for.  The first sequence
+    access (:meth:`materialize`, iteration, indexing) decodes the buffer into
+    a real ``array`` once and caches it; :meth:`as_numpy` instead wraps the
+    buffer in a zero-copy ``np.frombuffer`` view, so the numpy kernel backend
+    never pays the copy at all.  :meth:`tobytes` re-emits the buffer verbatim,
+    which is what keeps ``dump_table`` round-trips byte-identical.
+
+    An optional ``validate`` callable (the codec's deferred code-range check)
+    runs once against the first decoded representation and may raise
+    :class:`~repro.store.codec.StoreFormatError`; corruption a structural
+    parse cannot see is therefore surfaced on first touch, before any value
+    escapes.  Instances are immutable: :class:`FlowTable` swaps them for
+    mutable arrays via its copy-on-write barrier before any mutation.
+    """
+
+    __slots__ = ("typecode", "itemsize", "buffer", "_length", "_array", "_np", "_validate")
+
+    def __init__(
+        self,
+        typecode: str,
+        buffer: "memoryview",
+        validate: Optional[Callable[[Sequence], None]] = None,
+    ) -> None:
+        self.typecode = typecode
+        self.itemsize = array(typecode).itemsize
+        self.buffer = buffer
+        self._length = len(buffer) // self.itemsize
+        self._array: Optional[array] = None
+        self._np = None
+        self._validate = validate
+
+    def __len__(self) -> int:
+        return self._length
+
+    def materialize(self) -> array:
+        """The decoded ``array`` (built and validated on first call)."""
+        if self._array is None:
+            column = array(self.typecode)
+            column.frombytes(self.buffer)
+            if self._validate is not None:
+                self._validate(column)
+                self._validate = None
+            self._array = column
+        return self._array
+
+    def as_numpy(self):
+        """Zero-copy numpy view of the buffer (``None`` for odd typecodes)."""
+        if self._np is None:
+            dtype = _NP_DTYPE_OF_TYPECODE.get(self.typecode)
+            if dtype is None:
+                return None
+            import numpy
+
+            view = numpy.frombuffer(self.buffer, dtype=dtype)
+            if self._validate is not None:
+                self._validate(view)
+                self._validate = None
+            self._np = view
+        return self._np
+
+    def tobytes(self) -> bytes:
+        """The raw column bytes, exactly as serialized."""
+        return bytes(self.buffer)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.materialize())
+
+    def __getitem__(self, index):
+        return self.materialize()[index]
+
+
+#: What a FlowTable column slot may hold.
+ColumnStorage = Union[array, LazyColumn]
+
+
+def _seq(column: ColumnStorage) -> Sequence:
+    """The directly indexable storage of a column (decodes lazy columns)."""
+    if type(column) is LazyColumn:
+        return column.materialize()
+    return column
+
 
 class _Pool:
     """An append-only dictionary-encoded value pool shared between tables."""
@@ -128,8 +229,8 @@ class FlowTable:
 
     def __init__(self) -> None:
         self._pools: Dict[str, _Pool] = {name: _Pool() for name in CATEGORICAL_COLUMNS}
-        self._codes: Dict[str, array] = {name: array("i") for name in CATEGORICAL_COLUMNS}
-        self._numeric: Dict[str, array] = {
+        self._codes: Dict[str, ColumnStorage] = {name: array("i") for name in CATEGORICAL_COLUMNS}
+        self._numeric: Dict[str, ColumnStorage] = {
             name: array(typecode) for name, typecode in NUMERIC_COLUMNS
         }
         self._length = 0
@@ -143,10 +244,29 @@ class FlowTable:
     def __getstate__(self) -> Dict[str, object]:
         # Group indexes are derived data; drop them so pickled tables (the
         # parallel-generation batch shipping path) stay compact and free of
-        # backend-specific objects.
+        # backend-specific objects.  Lazy columns are decoded first: their
+        # memoryviews over an mmap'd artifact cannot leave the process.
         state = dict(self.__dict__)
         state["_group_cache"] = {}
+        state["_codes"] = {name: _seq(column) for name, column in self._codes.items()}
+        state["_numeric"] = {name: _seq(column) for name, column in self._numeric.items()}
         return state
+
+    def _materialize_for_write(self) -> None:
+        """Copy-on-write barrier: decode every lazy column into a mutable array.
+
+        Called by every mutating primitive before it touches a column, so a
+        table loaded zero-copy from an mmap'd artifact silently detaches from
+        the map the moment it stops being read-only -- the mapped bytes are
+        never written through, and ``_version`` is only ever bumped on
+        array-backed tables, exactly as on the eager path.
+        """
+        for name, column in self._codes.items():
+            if type(column) is LazyColumn:
+                self._codes[name] = column.materialize()
+        for name, column in self._numeric.items():
+            if type(column) is LazyColumn:
+                self._numeric[name] = column.materialize()
 
     # -- construction ------------------------------------------------------------
 
@@ -210,6 +330,7 @@ class FlowTable:
         atomic: on any error the already-extended columns are truncated back,
         so a caught failure leaves the table unchanged.
         """
+        self._materialize_for_write()
         target = self._length + count
         try:
             for name in CATEGORICAL_COLUMNS:
@@ -234,6 +355,37 @@ class FlowTable:
             raise
         self._length = target
         if count:
+            self._version += 1
+
+    def adopt_columns(
+        self,
+        length: int,
+        codes: Mapping[str, ColumnStorage],
+        numeric: Mapping[str, ColumnStorage],
+    ) -> None:
+        """Adopt pre-built column objects wholesale (the lazy-load primitive).
+
+        Unlike :meth:`append_columns`, the column objects themselves -- plain
+        arrays or buffer-backed :class:`LazyColumn` views -- become the
+        table's storage, so the zero-copy store read path can attach mapped
+        columns without decoding them.  The table must be empty, every column
+        must already have ``length`` rows, and the pools must already be
+        interned (the codec does both before calling).
+        """
+        if self._length:
+            raise ValueError("adopt_columns requires an empty table")
+        for name in CATEGORICAL_COLUMNS:
+            column = codes[name]
+            if len(column) != length:
+                raise ValueError(f"column {name!r}: {len(column)} codes for {length} rows")
+            self._codes[name] = column
+        for name, _typecode in NUMERIC_COLUMNS:
+            column = numeric[name]
+            if len(column) != length:
+                raise ValueError(f"column {name!r}: {len(column)} values for {length} rows")
+            self._numeric[name] = column
+        self._length = length
+        if length:
             self._version += 1
 
     def extend_table(self, other: "FlowTable") -> None:
@@ -284,6 +436,7 @@ class FlowTable:
         """
         if length < 0 or length > self._length:
             raise ValueError(f"cannot truncate {self._length} rows to {length}")
+        self._materialize_for_write()
         if length != self._length:
             self._version += 1
         for name in CATEGORICAL_COLUMNS:
@@ -304,6 +457,7 @@ class FlowTable:
             raise ValueError(
                 f"column {name!r}: got {len(column)} values for {self._length} rows"
             )
+        self._materialize_for_write()
         self._numeric[name] = column
         self._version += 1
 
@@ -314,6 +468,7 @@ class FlowTable:
         dictionary encoding is inlined with pre-bound column methods instead of
         going through per-field lookups.
         """
+        self._materialize_for_write()
         encoders = []
         for name in CATEGORICAL_COLUMNS:
             pool = self._pools[name]
@@ -459,16 +614,21 @@ class FlowTable:
         """True for dictionary-encoded columns."""
         return name in self._codes
 
-    def codes(self, name: str) -> array:
-        """The integer code array of a categorical column."""
+    def codes(self, name: str) -> ColumnStorage:
+        """The integer code column of a categorical column.
+
+        Usually an ``array('i')``; on a table loaded zero-copy from the store
+        it is a :class:`LazyColumn` view (same sequence protocol, and
+        ``tobytes``/``typecode``/``itemsize`` for the codec).
+        """
         return self._codes[name]
 
     def pool(self, name: str) -> List[object]:
         """The value pool of a categorical column (indexed by code)."""
         return self._pools[name].values
 
-    def numeric(self, name: str) -> array:
-        """The primitive array of a numeric column."""
+    def numeric(self, name: str) -> ColumnStorage:
+        """The primitive column of a numeric column (array or lazy view)."""
         return self._numeric[name]
 
     def column(self, name: str) -> List[object]:
@@ -493,10 +653,10 @@ class FlowTable:
         table = FlowTable()
         table._pools = self._pools
         for name in CATEGORICAL_COLUMNS:
-            source = self._codes[name]
+            source = _seq(self._codes[name])
             table._codes[name] = array("i", map(source.__getitem__, indices))
         for name, typecode in NUMERIC_COLUMNS:
-            source = self._numeric[name]
+            source = _seq(self._numeric[name])
             table._numeric[name] = array(typecode, map(source.__getitem__, indices))
         table._length = len(indices)
         return table
@@ -510,9 +670,9 @@ class FlowTable:
         table = FlowTable()
         table._pools = self._pools
         for name in CATEGORICAL_COLUMNS:
-            table._codes[name] = array("i", compress(self._codes[name], mask))
+            table._codes[name] = array("i", compress(_seq(self._codes[name]), mask))
         for name, typecode in NUMERIC_COLUMNS:
-            table._numeric[name] = array(typecode, compress(self._numeric[name], mask))
+            table._numeric[name] = array(typecode, compress(_seq(self._numeric[name]), mask))
         table._length = len(table._codes["timestamp"])
         return table
 
@@ -529,7 +689,7 @@ class FlowTable:
         """Row mask over a categorical column; the predicate runs once per
         *distinct* value, the per-row expansion is a C-level map."""
         code_mask = self._code_mask(name, predicate)
-        return bytearray(map(code_mask.__getitem__, self._codes[name]))
+        return bytearray(map(code_mask.__getitem__, _seq(self._codes[name])))
 
     def mask_day(self, day: date) -> bytearray:
         """Row mask selecting one calendar day."""

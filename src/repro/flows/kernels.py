@@ -14,7 +14,10 @@ interchangeable implementations:
   skipping both the per-call packed-key build and the per-row dict probes.
 * **Numpy kernels** (:mod:`repro.flows.kernels_np`, import-guarded) -- the
   same contracts on ``bincount``/``unique``; selected automatically when
-  numpy is importable.
+  numpy is importable.  Columns loaded zero-copy from an mmap'd store
+  artifact (:class:`~repro.flows.flowtable.LazyColumn`) feed these kernels
+  straight off the map via ``np.frombuffer``; the python kernels decode such
+  a column into an ``array`` on first touch instead.
 
 Backend selection: ``IOT_REPRO_KERNELS=python|numpy`` forces a backend,
 :func:`set_backend` overrides it in-process (tests, benchmarks), and with

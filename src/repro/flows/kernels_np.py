@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.flows.flowtable import LazyColumn
+
 #: array-module typecode -> numpy dtype for zero-copy column views.
 _DTYPES = {
     "b": np.int8,
@@ -52,13 +54,29 @@ INT64_SAFE_LIMIT = 2**62
 
 
 def _as_np(column: Sequence) -> Optional[np.ndarray]:
-    """Zero-copy numpy view of an ``array`` column (None when unsupported)."""
+    """Zero-copy numpy view of a column (None when unsupported).
+
+    Plain ``array`` columns and :class:`LazyColumn` views both wrap their raw
+    bytes via ``np.frombuffer`` -- for a lazy column that means the kernels
+    read straight from the mmap'd store artifact, no copy anywhere.
+    """
     if isinstance(column, array):
         dtype = _DTYPES.get(column.typecode)
         if dtype is not None:
             return np.frombuffer(column, dtype=dtype)
+    if isinstance(column, LazyColumn):
+        return column.as_numpy()
     if isinstance(column, np.ndarray):
         return column
+    return None
+
+
+def _int_member_view(members: Sequence) -> Optional[np.ndarray]:
+    """int64 view of an integer member column, or None for other columns."""
+    if isinstance(members, (array, LazyColumn)) and members.typecode in _INT_TYPECODES:
+        view = _as_np(members)
+        if view is not None:
+            return view.astype(np.int64, copy=False)
     return None
 
 
@@ -184,10 +202,10 @@ def group_sums(index, columns: Sequence, mask: Optional[Sequence[int]]):
 def _packed_pairs(index, members: Sequence, mask: Optional[Sequence[int]]):
     """(masked gids, packed member*count+gid pairs) or NotImplemented."""
     count = len(index.group_keys)
-    if not (isinstance(members, array) and members.typecode in _INT_TYPECODES):
+    member_view = _int_member_view(members)
+    if member_view is None:
         return NotImplemented
     gids = index.gids_numpy()
-    member_view = _as_np(members).astype(np.int64, copy=False)
     selector = None
     if mask is not None:
         selector = _mask_selector(mask, len(gids))
@@ -289,6 +307,7 @@ def distinct_codes(codes: Sequence):
 
 
 def distinct_values(column: Sequence):
-    if not (isinstance(column, array) and column.typecode in _INT_TYPECODES):
+    view = _int_member_view(column)
+    if view is None:
         return NotImplemented  # float columns: NaN set semantics differ
-    return set(np.unique(_as_np(column)).tolist())
+    return set(np.unique(view).tolist())

@@ -7,7 +7,9 @@ The store turns the in-memory world-build memoization into something durable:
   ``array`` column bytes) and for discovery footprints
   (:class:`~repro.core.discovery.DiscoveryResult` /
   :class:`~repro.core.pipeline.PipelineResult`, same tagged-pool style), with
-  no numpy and no pickle anywhere.
+  no numpy and no pickle anywhere.  Tables additionally load zero-copy:
+  :func:`load_table_mmap` / :func:`load_table_lazy` keep column bytes on the
+  mapped artifact until first touch.
 * :mod:`repro.store.artifacts` — :class:`ArtifactStore`, a content-addressed
   on-disk cache keyed by the SHA-256 of the frozen scenario configuration, the
   study period, the pipeline stage, and a format-version tag (discovery
@@ -30,6 +32,8 @@ from repro.store.codec import (
     load_discovery,
     load_pipeline_result,
     load_table,
+    load_table_lazy,
+    load_table_mmap,
     loads_discovery,
     loads_pipeline_result,
     loads_table,
@@ -55,6 +59,8 @@ __all__ = [
     "load_discovery",
     "load_pipeline_result",
     "load_table",
+    "load_table_lazy",
+    "load_table_mmap",
     "loads_discovery",
     "loads_pipeline_result",
     "loads_table",

@@ -24,8 +24,14 @@ plus one along the discovery path:
 
 Writes are atomic (temp file + ``os.replace``) so concurrent sweep workers can
 share one store directory; a corrupt or truncated artifact is treated as a
-cache miss and removed.  Every payload file has a JSON sidecar with
-human-readable metadata, which powers ``iot-backend-repro cache ls``.
+cache miss and removed.  Table reads default to the zero-copy mmap path
+(:func:`~repro.store.codec.load_table_mmap`): the payload is mapped, columns
+stay on the map as :class:`~repro.flows.flowtable.LazyColumn` views until
+first touch, and every way a bad file can fail the mapping or the parse folds
+into the same corrupt-fallback miss.  ``IOT_REPRO_STORE_MMAP=0`` (or
+``ArtifactStore(mmap_reads=False)``) restores the eager decoder.  Every
+payload file has a JSON sidecar with human-readable metadata, which powers
+``iot-backend-repro cache ls``.
 
 Artifacts live in a **digest-sharded layout**: payload and sidecar of digest
 ``abcdef…`` are stored under ``ab/cdef….rft`` / ``ab/cdef….json``, fanning a
@@ -60,6 +66,7 @@ from repro.store.codec import (
     dump_table,
     load_pipeline_result,
     load_table,
+    load_table_mmap,
 )
 
 #: Bump when the fingerprint recipe itself changes.
@@ -70,6 +77,19 @@ _META_SUFFIX = ".json"
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "IOT_REPRO_STORE"
+
+#: Environment variable toggling mmap-backed table reads (``1``/``0``; the
+#: default is on).  The eager path remains available per-store via the
+#: ``mmap_reads`` constructor argument.
+STORE_MMAP_ENV_VAR = "IOT_REPRO_STORE_MMAP"
+
+
+def _mmap_reads_default() -> bool:
+    """Resolve the mmap-read toggle from the environment (default on)."""
+    raw = os.environ.get(STORE_MMAP_ENV_VAR, "").strip().lower()
+    if not raw:
+        return True
+    return raw not in ("0", "false", "no", "off")
 
 #: Stage tags of the cached steps along the generation path.
 STAGE_GENERATED_ALL = "generated:with-scanners"
@@ -150,9 +170,17 @@ class ArtifactEntry:
 class ArtifactStore:
     """A content-addressed directory of serialized flow tables."""
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        mmap_reads: Optional[bool] = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_store_root()
         self.root.mkdir(parents=True, exist_ok=True)
+        #: When true (the default, overridable via ``IOT_REPRO_STORE_MMAP``),
+        #: :meth:`get_table` maps payloads and decodes columns lazily instead
+        #: of copying the whole file through ``read()``.
+        self.mmap_reads = _mmap_reads_default() if mmap_reads is None else bool(mmap_reads)
 
     # -- addressing --------------------------------------------------------------
 
@@ -177,6 +205,20 @@ class ArtifactStore:
         except FileNotFoundError:
             return self._legacy_payload_path(digest).open("rb")
 
+    def _payload_file(self, digest: str) -> Path:
+        """The existing payload path of a digest (sharded then legacy).
+
+        Raises :class:`FileNotFoundError` when neither layout has the file,
+        mirroring :meth:`_open_payload` for the mmap read path.
+        """
+        path = self._payload_path(digest)
+        if path.is_file():
+            return path
+        legacy = self._legacy_payload_path(digest)
+        if legacy.is_file():
+            return legacy
+        raise FileNotFoundError(str(path))
+
     def _tmp_suffix(self) -> str:
         """Unique temp-file suffix per writer (process *and* thread)."""
         return f".tmp-{os.getpid()}-{threading.get_ident()}"
@@ -190,19 +232,30 @@ class ArtifactStore:
 
         A corrupt payload (partial write of a crashed process, codec version
         skew) counts as a miss and is deleted so the slot can be rebuilt.
+        With :attr:`mmap_reads` on, the payload is mapped and decoded lazily
+        (:func:`~repro.store.codec.load_table_mmap`); everything that mode
+        can throw on a bad file -- including the ``ValueError`` an empty file
+        provokes in ``mmap`` and any ``BufferError`` from the mapping layer --
+        is folded into the same corrupt-fallback path, so callers only ever
+        see a table or ``None``.
         """
         digest = scenario_fingerprint(config, period, stage)
         try:
-            with self._open_payload(digest) as stream:
-                payload_bytes = os.fstat(stream.fileno()).st_size
-                table = load_table(stream)
+            if self.mmap_reads:
+                path = self._payload_file(digest)
+                payload_bytes = path.stat().st_size
+                table = load_table_mmap(path)
+            else:
+                with self._open_payload(digest) as stream:
+                    payload_bytes = os.fstat(stream.fileno()).st_size
+                    table = load_table(stream)
             obs_metrics.inc("store.hits")
             obs_metrics.inc("store.bytes_read", float(payload_bytes))
             return table
         except FileNotFoundError:
             obs_metrics.inc("store.misses")
             return None
-        except (StoreFormatError, OSError):
+        except (StoreFormatError, ValueError, OSError, BufferError):
             self._discard(digest)
             obs_metrics.inc("store.misses")
             obs_metrics.inc("store.corrupt_fallbacks")

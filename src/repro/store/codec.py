@@ -28,6 +28,20 @@ addresses, sources, and domains repeat heavily) and structures reference pool
 indices.  ``load_pipeline_result(dump_pipeline_result(r)) == r`` holds
 dataclass-for-dataclass.
 
+**Zero-copy reads.**  Flow tables additionally have a lazy read path:
+:func:`load_table_lazy` parses only the header, the value pools, and the block
+offset table of a serialized table held in a byte buffer, wrapping every
+code/numeric column in a :class:`~repro.flows.flowtable.LazyColumn` over the
+buffer instead of copying it; :func:`load_table_mmap` mmaps a payload file and
+does the same over the map, so a warm start touches no column bytes until an
+analysis does.  The structural checks (magic, versions, schema, pool
+integrity, block offsets and lengths against the header row count and the
+mapped size) still run eagerly, so truncation and length-field corruption
+raise :class:`StoreFormatError` at load time; the per-code range check is
+deferred into the lazy column and raises on first touch.  Artifacts written
+by a foreign-byte-order host, or with unexpected (but decodable) column
+typecodes, transparently fall back to the eager decoder.
+
 No pickle is involved anywhere: a corrupted or truncated file raises
 :class:`StoreFormatError` instead of executing anything.
 """
@@ -39,9 +53,14 @@ import struct
 import sys
 from array import array
 from datetime import date, datetime
-from typing import BinaryIO, Callable, Dict, List, Optional, Tuple
+from typing import BinaryIO, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.flows.flowtable import CATEGORICAL_COLUMNS, NUMERIC_COLUMNS, FlowTable
+from repro.flows.flowtable import (
+    CATEGORICAL_COLUMNS,
+    NUMERIC_COLUMNS,
+    FlowTable,
+    LazyColumn,
+)
 
 #: Bump on any incompatible change to the byte layout below.
 CODEC_VERSION = 1
@@ -130,6 +149,12 @@ def dumps_table(table: FlowTable) -> bytes:
     return buffer.getvalue()
 
 
+#: Reads larger than this are pre-flighted against the remaining stream/buffer
+#: size before any allocation, so a corrupt 64-bit length field fails with
+#: :class:`StoreFormatError` instead of attempting a near-2**64-byte read.
+_PREFLIGHT_BYTES = 1 << 20
+
+
 class _Reader:
     """Bounds-checked cursor over the serialized byte stream."""
 
@@ -138,7 +163,28 @@ class _Reader:
     def __init__(self, stream: BinaryIO) -> None:
         self._stream = stream
 
+    def remaining(self) -> Optional[int]:
+        """Bytes left before end-of-stream, or ``None`` when not seekable."""
+        stream = self._stream
+        try:
+            position = stream.tell()
+            end = stream.seek(0, io.SEEK_END)
+            stream.seek(position)
+        except (AttributeError, OSError, ValueError, io.UnsupportedOperation):
+            return None
+        return max(0, end - position)
+
     def take(self, count: int) -> bytes:
+        if count > _PREFLIGHT_BYTES:
+            # A length field this large is either a huge (legitimate) column
+            # or corruption; only the stream itself can tell.  Checking the
+            # remaining size first keeps a corrupt 2**64 length from turning
+            # into a giant allocation inside read().
+            available = self.remaining()
+            if available is not None and count > available:
+                raise StoreFormatError(
+                    f"truncated table: wanted {count} bytes, only {available} remain"
+                )
         data = self._stream.read(count)
         if len(data) != count:
             raise StoreFormatError(
@@ -182,22 +228,28 @@ class _Reader:
             return self.read_str()
         raise StoreFormatError(f"unknown pool value tag {tag}")
 
-    def read_array(self, byte_order: int) -> array:
+    def read_array_header(self) -> Tuple[str, int, int]:
+        """Validate one array block header; return ``(typecode, itemsize, nbytes)``."""
         typecode_raw, itemsize, nbytes = self.unpack("<cBQ")
-        typecode = typecode_raw.decode("ascii")
         try:
-            column = array(typecode)
-        except ValueError as error:
-            raise StoreFormatError(f"bad array typecode {typecode!r}") from None
-        if column.itemsize != itemsize:
+            typecode = typecode_raw.decode("ascii")
+            probe = array(typecode)
+        except (UnicodeDecodeError, ValueError):
+            raise StoreFormatError(f"bad array typecode {typecode_raw!r}") from None
+        if probe.itemsize != itemsize:
             raise StoreFormatError(
                 f"array {typecode!r} itemsize mismatch: stored {itemsize}, "
-                f"local {column.itemsize}"
+                f"local {probe.itemsize}"
             )
         if nbytes % itemsize:
             raise StoreFormatError(
                 f"array byte length {nbytes} is not a multiple of itemsize {itemsize}"
             )
+        return typecode, itemsize, nbytes
+
+    def read_array(self, byte_order: int) -> array:
+        typecode, _itemsize, nbytes = self.read_array_header()
+        column = array(typecode)
         column.frombytes(self.take(nbytes))
         if byte_order != _LOCAL_ORDER:
             column.byteswap()
@@ -281,6 +333,169 @@ def load_table(stream: BinaryIO) -> FlowTable:
 def loads_table(data: bytes) -> FlowTable:
     """Deserialize a table from bytes."""
     return load_table(io.BytesIO(data))
+
+
+class _BufferReader(_Reader):
+    """Bounds-checked cursor over an in-memory buffer (bytes, mmap, memoryview).
+
+    Unlike the stream reader it can hand out :meth:`take_view` slices that
+    alias the underlying buffer, which is what makes the lazy table loader
+    zero-copy: column payloads stay on the mapped file until first touch.
+    """
+
+    __slots__ = ("_view", "_pos")
+
+    def __init__(self, view: memoryview) -> None:
+        self._view = view
+        self._pos = 0
+
+    def remaining(self) -> Optional[int]:
+        return len(self._view) - self._pos
+
+    def take_view(self, count: int) -> memoryview:
+        end = self._pos + count
+        if count < 0 or end > len(self._view):
+            raise StoreFormatError(
+                f"truncated table: wanted {count} bytes, "
+                f"only {len(self._view) - self._pos} remain"
+            )
+        view = self._view[self._pos : end]
+        self._pos = end
+        return view
+
+    def take(self, count: int) -> bytes:
+        return bytes(self.take_view(count))
+
+
+def _code_bounds_validator(name: str, pool_size: int) -> Callable[[Sequence], None]:
+    """The deferred per-code range check for one lazily decoded code column.
+
+    Runs once against whichever representation is touched first (``array`` or
+    numpy view -- hence the duck-typed min/max), mirroring the eager loader's
+    load-time check and its error message exactly.
+    """
+
+    def validate(column: Sequence) -> None:
+        if not len(column):
+            return
+        try:
+            low, high = column.min(), column.max()  # numpy view
+        except AttributeError:
+            low, high = min(column), max(column)
+        if low < 0 or high >= pool_size:
+            raise StoreFormatError(f"column {name!r}: code out of pool range")
+
+    return validate
+
+
+def load_table_lazy(buffer: Union[bytes, bytearray, memoryview]) -> FlowTable:
+    """Deserialize a table from a byte buffer without copying column bytes.
+
+    Parses the header, value pools, and every block header eagerly -- so all
+    structural corruption (bad magic/version, schema mismatches, truncation,
+    oversized or ragged length fields, duplicate pool values) raises
+    :class:`StoreFormatError` here, exactly like :func:`load_table` -- but
+    wraps each column payload in a :class:`~repro.flows.flowtable.LazyColumn`
+    view over ``buffer`` instead of decoding it.  The per-code range check is
+    deferred into the lazy column and runs on first touch.
+
+    Artifacts written by a foreign-byte-order host (columns need a byteswap,
+    which is inherently a copy) or with unexpected-but-decodable column
+    typecodes fall back to the eager decoder transparently.
+    """
+    view = memoryview(buffer)
+    reader = _BufferReader(view)
+    if reader.take(len(_MAGIC)) != _MAGIC:
+        raise StoreFormatError("not a serialized FlowTable (bad magic)")
+    version, byte_order, length = reader.unpack("<BBQ")
+    if version != CODEC_VERSION:
+        raise StoreFormatError(
+            f"unsupported codec version {version} (expected {CODEC_VERSION})"
+        )
+    if byte_order not in (_LITTLE, _BIG):
+        raise StoreFormatError(f"bad byte-order flag {byte_order}")
+    if byte_order != _LOCAL_ORDER:
+        return load_table(io.BytesIO(view))
+
+    (n_categorical,) = reader.unpack("<H")
+    if n_categorical != len(CATEGORICAL_COLUMNS):
+        raise StoreFormatError(
+            f"categorical column count mismatch: stored {n_categorical}, "
+            f"schema has {len(CATEGORICAL_COLUMNS)}"
+        )
+    table = FlowTable()
+    codes: Dict[str, LazyColumn] = {}
+    for expected in CATEGORICAL_COLUMNS:
+        name = reader.read_str()
+        if name != expected:
+            raise StoreFormatError(
+                f"categorical column order mismatch: stored {name!r}, expected {expected!r}"
+            )
+        (pool_size,) = reader.unpack("<I")
+        pool: List[object] = [reader.read_value() for _ in range(pool_size)]
+        typecode, itemsize, nbytes = reader.read_array_header()
+        if typecode != "i":
+            return load_table(io.BytesIO(view))
+        payload = reader.take_view(nbytes)
+        if nbytes // itemsize != length:
+            raise StoreFormatError(
+                f"column {name!r}: {nbytes // itemsize} codes for {length} rows"
+            )
+        for value in pool:
+            table.encode_value(name, value)
+        if len(table.pool(name)) != pool_size:
+            raise StoreFormatError(f"column {name!r}: pool contains duplicate values")
+        codes[name] = LazyColumn(
+            "i", payload, validate=_code_bounds_validator(name, pool_size)
+        )
+
+    (n_numeric,) = reader.unpack("<H")
+    if n_numeric != len(NUMERIC_COLUMNS):
+        raise StoreFormatError(
+            f"numeric column count mismatch: stored {n_numeric}, "
+            f"schema has {len(NUMERIC_COLUMNS)}"
+        )
+    numeric: Dict[str, LazyColumn] = {}
+    for expected, typecode in NUMERIC_COLUMNS:
+        name = reader.read_str()
+        if name != expected:
+            raise StoreFormatError(
+                f"numeric column order mismatch: stored {name!r}, expected {expected!r}"
+            )
+        stored, itemsize, nbytes = reader.read_array_header()
+        if stored != typecode:
+            raise StoreFormatError(
+                f"column {name!r}: stored typecode {stored!r}, "
+                f"schema expects {typecode!r}"
+            )
+        payload = reader.take_view(nbytes)
+        if nbytes // itemsize != length:
+            raise StoreFormatError(
+                f"column {name!r}: {nbytes // itemsize} values for {length} rows"
+            )
+        numeric[name] = LazyColumn(typecode, payload)
+    table.adopt_columns(length, codes, numeric)
+    return table
+
+
+def load_table_mmap(path: Union[str, "os.PathLike"]) -> FlowTable:
+    """mmap a serialized table file and deserialize it via :func:`load_table_lazy`.
+
+    The file descriptor is closed immediately (the mapping survives it); the
+    mapping itself stays alive exactly as long as any column view over it --
+    plain refcounting, no explicit close, so handing columns to numpy via
+    ``frombuffer`` can never hit a ``BufferError``.  Empty files (``mmap``
+    refuses zero-length maps) raise :class:`StoreFormatError` like any other
+    corrupt payload.
+    """
+    import mmap
+
+    with open(path, "rb") as handle:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as error:
+            raise StoreFormatError(f"cannot map table file: {error}") from None
+    return load_table_lazy(mapped)
 
 
 # ---------------------------------------------------------------------------

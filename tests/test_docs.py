@@ -175,6 +175,36 @@ def test_kernel_surface_is_documented_everywhere():
         assert concept in architecture, f"ARCHITECTURE.md does not mention {concept!r}"
 
 
+def test_store_read_path_is_documented_everywhere():
+    """The zero-copy store read path must stay documented as one unit.
+
+    The ``IOT_REPRO_STORE_MMAP`` env var must match the constant the store
+    actually reads, the README must document the env var and the mmap
+    loader, and the architecture guide must explain the lazy-column
+    mechanics, the copy-on-write rule, and the fallback matrix.
+    """
+    from repro.store.artifacts import STORE_MMAP_ENV_VAR
+
+    assert STORE_MMAP_ENV_VAR == "IOT_REPRO_STORE_MMAP"
+    readme = README.read_text(encoding="utf-8")
+    assert "IOT_REPRO_STORE_MMAP" in readme, "store mmap env var is not in README.md"
+    assert "load_table_mmap" in readme, "README.md does not name the mmap loader"
+    architecture = ARCHITECTURE.read_text(encoding="utf-8")
+    assert "Zero-copy reads" in architecture
+    for concept in (
+        "IOT_REPRO_STORE_MMAP",
+        "load_table_mmap",
+        "LazyColumn",
+        "Copy-on-write",  # the mutation barrier rule
+        "first touch",  # deferred column decode
+        "frombuffer",  # numpy kernels read straight off the map
+        "Fallback matrix",  # foreign order / non-'i' typecode / corruption
+        "corrupt-fallback",  # empty or truncated files stay a store miss
+        "test_store_mmap",
+    ):
+        assert concept in architecture, f"ARCHITECTURE.md does not mention {concept!r}"
+
+
 def test_readme_documents_install_and_benchmarks():
     text = README.read_text(encoding="utf-8")
     assert "PYTHONPATH=src" in text

@@ -1,0 +1,281 @@
+"""Digest- and analysis-parity of the zero-copy mmap store read path.
+
+The contract under test: a warm context served through mmap-backed lazy
+tables must be indistinguishable from one served through the eager decoder —
+same ``dump_table`` bytes (hence same store digests), same analysis output,
+same ``GroupIndex`` caching/invalidation behavior — on every kernel backend.
+Corrupt payloads in mmap mode must fold into the store's corrupt-fallback
+miss exactly like eager ones.
+"""
+
+import random
+from datetime import date
+
+import pytest
+
+from repro.experiments.context import build_context
+from repro.flows import kernels
+from repro.flows.flowtable import (
+    CATEGORICAL_COLUMNS,
+    NUMERIC_COLUMNS,
+    FlowTable,
+    LazyColumn,
+)
+from repro.obs.metrics import MetricsRegistry, disable, enable, set_registry
+from repro.simulation.clock import StudyPeriod
+from repro.simulation.config import ScenarioConfig
+from repro.store.artifacts import (
+    STORE_MMAP_ENV_VAR,
+    ArtifactStore,
+    scenario_fingerprint,
+)
+from repro.store.codec import dumps_table, load_table_lazy, loads_table
+
+from test_store_codec import random_records
+
+PERIOD = StudyPeriod(date(2022, 3, 1), date(2022, 3, 3), name="mmap-test")
+
+STAGE = "raw-export"
+
+
+def _tiny(seed: int = 41, **overrides) -> ScenarioConfig:
+    return ScenarioConfig.small(seed=seed).with_overrides(
+        n_subscriber_lines=40, n_scanner_lines=1, **overrides
+    )
+
+
+def _backends():
+    backends = [kernels.BACKEND_PYTHON]
+    if kernels.numpy_available():
+        backends.append(kernels.BACKEND_NUMPY)
+    return backends
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend():
+    yield
+    kernels.set_backend(None)
+
+
+@pytest.fixture
+def blob():
+    return dumps_table(FlowTable.from_records(random_records(random.Random(55), 250)))
+
+
+class TestAggregationParity:
+    @pytest.mark.parametrize("backend", ("python", "numpy"))
+    def test_lazy_and_eager_tables_aggregate_identically(self, blob, backend):
+        if backend == "numpy" and not kernels.numpy_available():
+            pytest.skip("numpy not importable")
+        kernels.set_backend(backend)
+        eager = loads_table(blob)
+        lazy = load_table_lazy(blob)
+        for by in (("provider_key",), ("provider_key", "transport"), ("port",)):
+            want = eager.group_sums(by, ("bytes_down", "bytes_up"))
+            got = lazy.group_sums(by, ("bytes_down", "bytes_up"))
+            assert got == want and list(got) == list(want)
+            assert lazy.group_distinct(by, "server_ip") == eager.group_distinct(
+                by, "server_ip"
+            )
+            assert lazy.group_distinct_count(by, "subscriber_id") == (
+                eager.group_distinct_count(by, "subscriber_id")
+            )
+        mask = eager.mask_ip_version(4)
+        assert lazy.group_sums(("provider_key",), ("bytes_down",), mask=mask) == (
+            eager.group_sums(("provider_key",), ("bytes_down",), mask=mask)
+        )
+        assert lazy.distinct("server_ip") == eager.distinct("server_ip")
+        assert lazy.distinct("port") == eager.distinct("port")
+        assert lazy.total("bytes_down") == eager.total("bytes_down")
+        # Aggregating never detaches the lazy columns from the map.
+        assert isinstance(lazy.codes("provider_key"), LazyColumn)
+
+    def test_group_index_caching_and_invalidation_match_eager(self, blob):
+        eager = loads_table(blob)
+        lazy = load_table_lazy(blob)
+        index = lazy.group_index(("provider_key",))
+        assert lazy.group_index(("provider_key",)) is index, "cache hit on lazy table"
+        assert list(index.group_keys) == list(
+            eager.group_index(("provider_key",)).group_keys
+        )
+        assert lazy._version == eager._version
+        zeros = [0.0] * len(lazy)
+        lazy.assign_numeric("bytes_down", zeros)
+        eager.assign_numeric("bytes_down", zeros)
+        assert lazy._version == eager._version, "mutation bumps versions identically"
+        fresh = lazy.group_index(("provider_key",))
+        assert fresh is not index and fresh.version == lazy._version
+
+
+class TestCopyOnWrite:
+    """Every mutating primitive detaches lazy columns and matches eager bytes."""
+
+    def _pair(self, blob):
+        return load_table_lazy(blob), loads_table(blob)
+
+    def _assert_detached_and_equal(self, lazy, eager):
+        for name in CATEGORICAL_COLUMNS:
+            assert not isinstance(lazy.codes(name), LazyColumn)
+        for name, _typecode in NUMERIC_COLUMNS:
+            assert not isinstance(lazy.numeric(name), LazyColumn)
+        assert dumps_table(lazy) == dumps_table(eager)
+
+    def test_assign_numeric(self, blob):
+        lazy, eager = self._pair(blob)
+        values = [1.5] * len(eager)
+        lazy.assign_numeric("bytes_up", values)
+        eager.assign_numeric("bytes_up", values)
+        self._assert_detached_and_equal(lazy, eager)
+
+    def test_truncate(self, blob):
+        lazy, eager = self._pair(blob)
+        lazy.truncate(10)
+        eager.truncate(10)
+        self._assert_detached_and_equal(lazy, eager)
+
+    def test_extend(self, blob):
+        extra = random_records(random.Random(56), 20)
+        lazy, eager = self._pair(blob)
+        lazy.extend(extra)
+        eager.extend(extra)
+        self._assert_detached_and_equal(lazy, eager)
+
+    def test_extend_table(self, blob):
+        other = FlowTable.from_records(random_records(random.Random(57), 30))
+        lazy, eager = self._pair(blob)
+        lazy.extend_table(other)
+        eager.extend_table(other)
+        self._assert_detached_and_equal(lazy, eager)
+
+    def test_filters_leave_lazy_source_attached(self, blob):
+        lazy, eager = self._pair(blob)
+        assert dumps_table(lazy.where_ip_version(4)) == dumps_table(
+            eager.where_ip_version(4)
+        )
+        assert isinstance(lazy.codes("server_ip"), LazyColumn), (
+            "read-only filters must not trigger copy-on-write"
+        )
+
+    def test_pickle_round_trip_materializes(self, blob):
+        import pickle
+
+        lazy, eager = self._pair(blob)
+        clone = pickle.loads(pickle.dumps(lazy))
+        assert not isinstance(clone.codes("provider_key"), LazyColumn)
+        assert dumps_table(clone) == dumps_table(eager)
+
+
+class TestWarmContextDigestParity:
+    @pytest.mark.parametrize("backend", ("python", "numpy"))
+    def test_warm_mmap_context_matches_eager(self, tmp_path, backend):
+        """Cold build, then two warm reads (eager vs mmap): same bytes, same analysis."""
+        if backend == "numpy" and not kernels.numpy_available():
+            pytest.skip("numpy not importable")
+        kernels.set_backend(backend)
+        from repro.core.traffic import daily_active_lines, volume_timeseries
+
+        config = _tiny(seed=61)
+        root = tmp_path / "store"
+        cold = build_context(config, use_cache=False, store=ArtifactStore(root))
+        cold.clean_table()
+
+        eager_context = build_context(
+            config, use_cache=False, store=ArtifactStore(root, mmap_reads=False)
+        )
+        mmap_context = build_context(
+            config, use_cache=False, store=ArtifactStore(root, mmap_reads=True)
+        )
+        eager_clean = eager_context.clean_table()
+        mmap_clean = mmap_context.clean_table()
+        assert isinstance(mmap_clean.codes("provider_key"), LazyColumn)
+        assert dumps_table(mmap_clean) == dumps_table(eager_clean), "store digest parity"
+        assert dumps_table(mmap_context.raw_table()) == dumps_table(
+            eager_context.raw_table()
+        )
+        assert volume_timeseries(mmap_clean, mmap_context.anonymization) == (
+            volume_timeseries(eager_clean, eager_context.anonymization)
+        )
+        assert daily_active_lines(mmap_clean) == daily_active_lines(eager_clean)
+
+
+class TestStoreMmapMode:
+    @pytest.fixture
+    def table(self):
+        return FlowTable.from_records(random_records(random.Random(62), 120))
+
+    def test_mmap_reads_default_on_and_env_toggle(self, tmp_path, monkeypatch):
+        assert ArtifactStore(tmp_path / "a").mmap_reads is True
+        monkeypatch.setenv(STORE_MMAP_ENV_VAR, "0")
+        assert ArtifactStore(tmp_path / "b").mmap_reads is False
+        monkeypatch.setenv(STORE_MMAP_ENV_VAR, "1")
+        assert ArtifactStore(tmp_path / "c").mmap_reads is True
+        # The constructor argument wins over the environment.
+        assert ArtifactStore(tmp_path / "d", mmap_reads=False).mmap_reads is False
+
+    def test_get_table_returns_lazy_tables_in_mmap_mode(self, tmp_path, table):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_table(_tiny(), PERIOD, STAGE, table)
+        loaded = store.get_table(_tiny(), PERIOD, STAGE)
+        assert isinstance(loaded.codes("provider_key"), LazyColumn)
+        assert loaded.to_records() == table.to_records()
+
+    def test_legacy_flat_layout_reads_via_mmap(self, tmp_path, table):
+        store = ArtifactStore(tmp_path / "store")
+        path = store.put_table(_tiny(), PERIOD, STAGE, table)
+        digest = scenario_fingerprint(_tiny(), PERIOD, STAGE)
+        path.rename(store._legacy_payload_path(digest))
+        loaded = store.get_table(_tiny(), PERIOD, STAGE)
+        assert loaded is not None
+        assert loaded.to_records() == table.to_records()
+
+    def _corrupt_counter(self, store, config):
+        registry = MetricsRegistry()
+        set_registry(registry)
+        enable()
+        try:
+            result = store.get_table(config, PERIOD, STAGE)
+        finally:
+            disable()
+            set_registry(MetricsRegistry())
+        return result, registry.counter("store.corrupt_fallbacks")
+
+    def test_zero_length_payload_is_a_corrupt_fallback(self, tmp_path, table):
+        """mmap raises ValueError on empty maps; the store must absorb it."""
+        config = _tiny()
+        store = ArtifactStore(tmp_path / "store")
+        path = store.put_table(config, PERIOD, STAGE, table)
+        path.write_bytes(b"")
+        result, fallbacks = self._corrupt_counter(store, config)
+        assert result is None
+        assert fallbacks == 1
+        assert not path.exists(), "corrupt payload is discarded for a cold rebuild"
+
+    def test_short_payload_is_a_corrupt_fallback(self, tmp_path, table):
+        """A file shorter than its declared block offsets is a miss, not a crash."""
+        config = _tiny()
+        store = ArtifactStore(tmp_path / "store")
+        path = store.put_table(config, PERIOD, STAGE, table)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        result, fallbacks = self._corrupt_counter(store, config)
+        assert result is None
+        assert fallbacks == 1
+        assert not path.exists()
+
+    def test_corrupt_fallback_triggers_cold_rebuild(self, tmp_path):
+        """End to end: a zero-length mmap payload rebuilds through the pipeline."""
+        config = _tiny(seed=63)
+        root = tmp_path / "store"
+        store = ArtifactStore(root)
+        cold = build_context(config, use_cache=False, store=store)
+        want = cold.raw_table().to_records()
+        digest = scenario_fingerprint(config, config.study_period, STAGE)
+        store._payload_path(digest).write_bytes(b"")
+        rebuilt = build_context(config, use_cache=False, store=ArtifactStore(root))
+        assert rebuilt.raw_table().to_records() == want
+
+    def test_eager_mode_still_round_trips(self, tmp_path, table):
+        store = ArtifactStore(tmp_path / "store", mmap_reads=False)
+        store.put_table(_tiny(), PERIOD, STAGE, table)
+        loaded = store.get_table(_tiny(), PERIOD, STAGE)
+        assert not isinstance(loaded.codes("provider_key"), LazyColumn)
+        assert loaded.to_records() == table.to_records()
